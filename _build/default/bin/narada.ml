@@ -1,0 +1,459 @@
+(* The narada command-line tool: parse/run/trace Jir programs, run the
+   synthesis pipeline, execute the detection stack, and regenerate the
+   paper's tables.  See `narada --help`. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Source selection shared by several commands: either a .jir file or a
+   corpus entry (C1..C9). *)
+let load_source ~file ~corpus =
+  match (file, corpus) with
+  | Some f, None ->
+    Ok (read_file f, "Seed", "main", None)
+  | None, Some id -> (
+    match Corpus.Registry.find id with
+    | Some e ->
+      Ok
+        ( e.Corpus.Corpus_def.e_source,
+          e.Corpus.Corpus_def.e_seed_cls,
+          e.Corpus.Corpus_def.e_seed_meth,
+          Some e )
+    | None ->
+      Error
+        (Printf.sprintf "unknown corpus id %s (have: %s)" id
+           (String.concat ", " Corpus.Registry.ids)))
+  | Some _, Some _ -> Error "give either FILE or --corpus, not both"
+  | None, None -> Error "give a FILE or --corpus ID"
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Jir source file.")
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"ID" ~doc:"Benchmark corpus entry (C1..C9).")
+
+let client_arg =
+  Arg.(
+    value & opt string "Seed"
+    & info [ "client" ] ~docv:"CLASS" ~doc:"Client (seed test) class name.")
+
+let entry_arg =
+  Arg.(
+    value & opt string "main"
+    & info [ "entry" ] ~docv:"METHOD" ~doc:"Static entry method on the client class.")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 42L
+    & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed (VM and schedulers).")
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    prerr_endline ("narada: " ^ msg);
+    exit 1
+
+let compile_or_die src =
+  match Jir.Compile.compile_source src with
+  | cu -> cu
+  | exception Jir.Diag.Error d ->
+    prerr_endline ("narada: " ^ Jir.Diag.to_string d);
+    exit 1
+
+(* ---- corpus ---- *)
+
+let corpus_cmd =
+  let run () = print_string (Eval.Tables.table3 ()) in
+  Cmd.v (Cmd.info "corpus" ~doc:"List the benchmark corpus (Table 3).")
+    Term.(const run $ const ())
+
+(* ---- parse ---- *)
+
+let parse_cmd =
+  let run file corpus =
+    let src, _, _, _ = or_die (load_source ~file ~corpus) in
+    match Jir.Parser.parse_program src with
+    | ast -> print_string (Jir.Pretty.program_to_string ast)
+    | exception Jir.Diag.Error d ->
+      prerr_endline ("narada: " ^ Jir.Diag.to_string d);
+      exit 1
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse a Jir program and pretty-print it.")
+    Term.(const run $ file_arg $ corpus_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run file corpus client entry seed =
+    let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
+    let client = if corpus <> None then default_client else client in
+    let entry = if corpus <> None then default_entry else entry in
+    let cu = compile_or_die src in
+    let r, m =
+      Conc.Exec.run_program cu ~seed ~client_classes:[ client ] ~cls:client
+        ~meth:entry
+        (Conc.Scheduler.random ~seed)
+    in
+    print_string (Runtime.Machine.output m);
+    (match r.Conc.Exec.outcome with
+    | Conc.Exec.All_finished -> Printf.printf "finished in %d steps\n" r.Conc.Exec.steps
+    | Conc.Exec.Deadlock tids ->
+      Printf.printf "DEADLOCK involving threads %s\n"
+        (String.concat "," (List.map string_of_int tids))
+    | Conc.Exec.Fuel_exhausted -> print_endline "fuel exhausted");
+    List.iter
+      (fun (tid, msg) -> Printf.printf "thread %d crashed: %s\n" tid msg)
+      r.Conc.Exec.crashes
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a Jir program under a seeded random scheduler.")
+    Term.(const run $ file_arg $ corpus_arg $ client_arg $ entry_arg $ seed_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run file corpus client entry seed =
+    let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
+    let client = if corpus <> None then default_client else client in
+    let entry = if corpus <> None then default_entry else entry in
+    let cu = compile_or_die src in
+    let _m, trace, res =
+      Runtime.Interp.record ~seed cu ~client_classes:[ client ] ~cls:client
+        ~meth:entry
+    in
+    print_string (Runtime.Trace.to_string trace);
+    match res with
+    | Ok _ -> ()
+    | Error e -> Printf.printf "(execution failed: %s)\n" e
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the sequential seed test and dump the labelled trace (§3.1).")
+    Term.(const run $ file_arg $ corpus_arg $ client_arg $ entry_arg $ seed_arg)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run file corpus client entry verbose =
+    let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
+    let client = if corpus <> None then default_client else client in
+    let entry = if corpus <> None then default_entry else entry in
+    let an =
+      or_die
+        (Narada_core.Pipeline.analyze_source src ~client_classes:[ client ]
+           ~seed_cls:client ~seed_meth:entry)
+    in
+    Printf.printf "%s\n" (Narada_core.Pipeline.summary_to_string an);
+    if verbose then begin
+      print_endline "-- accesses (A) --";
+      List.iter
+        (fun a -> print_endline ("  " ^ Narada_core.Access.acc_to_string a))
+        an.Narada_core.Pipeline.an_access.Narada_core.Access.accesses
+    end;
+    print_endline "-- setters (D) --";
+    List.iter
+      (fun s -> print_endline ("  " ^ Narada_core.Summary.to_string s))
+      (Narada_core.Summary.setters
+         an.Narada_core.Pipeline.an_access.Narada_core.Access.summary);
+    print_endline "-- potential racy pairs --";
+    List.iter
+      (fun p -> print_endline ("  " ^ Narada_core.Pairs.pair_to_string p))
+      an.Narada_core.Pipeline.an_pairs
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print every access.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the trace analysis: accesses, setters, racy pairs (§3.1-3.3).")
+    Term.(const run $ file_arg $ corpus_arg $ client_arg $ entry_arg $ verbose)
+
+(* ---- synthesize ---- *)
+
+let synthesize_cmd =
+  let run file corpus client entry =
+    let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
+    let client = if corpus <> None then default_client else client in
+    let entry = if corpus <> None then default_entry else entry in
+    let an =
+      or_die
+        (Narada_core.Pipeline.analyze_source src ~client_classes:[ client ]
+           ~seed_cls:client ~seed_meth:entry)
+    in
+    Printf.printf "// %d multithreaded tests synthesized from %d racy pairs\n\n"
+      (List.length an.Narada_core.Pipeline.an_tests)
+      (List.length an.Narada_core.Pipeline.an_pairs);
+    List.iter
+      (fun t -> print_endline (Narada_core.Synth.to_source t))
+      an.Narada_core.Pipeline.an_tests
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:"Synthesize multithreaded racy tests (§3.4) and print them.")
+    Term.(const run $ file_arg $ corpus_arg $ client_arg $ entry_arg)
+
+(* ---- detect ---- *)
+
+let detect_cmd =
+  let run corpus_id =
+    match Corpus.Registry.find corpus_id with
+    | None ->
+      prerr_endline ("narada: unknown corpus id " ^ corpus_id);
+      exit 1
+    | Some e -> (
+      match Eval.Evaluate.evaluate_class e with
+      | Error msg ->
+        prerr_endline ("narada: " ^ msg);
+        exit 1
+      | Ok ce ->
+        Printf.printf
+          "%s %s: pairs=%d tests=%d detected=%d reproduced=%d harmful=%d benign=%d (synthesis %.3fs, detection %.3fs)\n"
+          ce.Eval.Evaluate.cl_entry.Corpus.Corpus_def.e_id
+          ce.Eval.Evaluate.cl_entry.Corpus.Corpus_def.e_name
+          ce.Eval.Evaluate.cl_pairs ce.Eval.Evaluate.cl_tests
+          ce.Eval.Evaluate.cl_detected ce.Eval.Evaluate.cl_reproduced
+          ce.Eval.Evaluate.cl_harmful ce.Eval.Evaluate.cl_benign
+          ce.Eval.Evaluate.cl_seconds ce.Eval.Evaluate.cl_detect_seconds;
+        List.iter
+          (fun (te : Eval.Evaluate.test_eval) ->
+            List.iter
+              (fun (ro : Eval.Evaluate.race_outcome) ->
+                Printf.printf "  test %d: %s%s%s\n"
+                  te.Eval.Evaluate.te_test.Narada_core.Synth.st_id
+                  (Detect.Race.key_to_string ro.Eval.Evaluate.ro_key)
+                  (if ro.Eval.Evaluate.ro_reproduced then " [reproduced]" else "")
+                  (match ro.Eval.Evaluate.ro_verdict with
+                  | Some v -> " [" ^ Detect.Triage.verdict_to_string v ^ "]"
+                  | None -> ""))
+              te.Eval.Evaluate.te_races)
+          ce.Eval.Evaluate.cl_test_evals)
+  in
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Corpus id (C1..C9).")
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:
+         "Synthesize tests for a corpus class, run them under the detection \
+          stack and report every race (detected / reproduced / triaged).")
+    Term.(const run $ id)
+
+(* ---- eval ---- *)
+
+let eval_cmd =
+  let run with_contege budget =
+    let evals =
+      List.filter_map
+        (fun e ->
+          match Eval.Evaluate.evaluate_class e with
+          | Ok ce -> Some ce
+          | Error msg ->
+            Printf.eprintf "narada: %s failed: %s\n" e.Corpus.Corpus_def.e_id msg;
+            None)
+        Corpus.Registry.all
+    in
+    print_string (Eval.Tables.table3 ());
+    print_newline ();
+    print_string (Eval.Tables.table4 evals);
+    print_newline ();
+    print_string (Eval.Tables.table5 evals);
+    print_newline ();
+    print_string (Eval.Tables.fig14 evals);
+    if with_contege then begin
+      print_newline ();
+      print_string (Eval.Tables.contege_table (Eval.Tables.contege_rows ~budget evals))
+    end
+  in
+  let with_contege =
+    Arg.(value & flag & info [ "contege" ] ~doc:"Also run the ConTeGe baseline.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 150
+      & info [ "budget" ] ~docv:"N" ~doc:"Random tests per class for the baseline.")
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Reproduce Tables 3-5 and Figure 14 over the whole corpus.")
+    Term.(const run $ with_contege $ budget)
+
+(* ---- contege ---- *)
+
+let contege_cmd =
+  let run corpus_id budget seed =
+    match Corpus.Registry.find corpus_id with
+    | None ->
+      prerr_endline ("narada: unknown corpus id " ^ corpus_id);
+      exit 1
+    | Some e ->
+      let c = Contege.campaign e ~budget ~schedules:5 ~seed in
+      Printf.printf "%s: random tests=%d valid=%d violations=%d first=%s\n"
+        corpus_id c.Contege.ca_tests c.Contege.ca_valid c.Contege.ca_violations
+        (match c.Contege.ca_first_violation with
+        | Some i -> string_of_int i
+        | None -> "-");
+      (match c.Contege.ca_example with
+      | Some src ->
+        print_endline "-- first violating test --";
+        print_string src
+      | None -> ())
+  in
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Corpus id.")
+  in
+  let budget =
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Number of random tests.")
+  in
+  Cmd.v
+    (Cmd.info "contege"
+       ~doc:"Run the ConTeGe-style random baseline against a corpus class.")
+    Term.(const run $ id $ budget $ seed_arg)
+
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let run corpus_id test_id bound =
+    match Corpus.Registry.find corpus_id with
+    | None ->
+      prerr_endline ("narada: unknown corpus id " ^ corpus_id);
+      exit 1
+    | Some e -> (
+      let cu = compile_or_die e.Corpus.Corpus_def.e_source in
+      match
+        Narada_core.Pipeline.analyze cu
+          ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
+          ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
+          ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
+      with
+      | Error msg ->
+        prerr_endline ("narada: " ^ msg);
+        exit 1
+      | Ok an -> (
+        match
+          List.find_opt
+            (fun (t : Narada_core.Synth.test) -> t.Narada_core.Synth.st_id = test_id)
+            an.Narada_core.Pipeline.an_tests
+        with
+        | None ->
+          Printf.eprintf "narada: no synthesized test #%d (have 0..%d)\n" test_id
+            (List.length an.Narada_core.Pipeline.an_tests - 1);
+          exit 1
+        | Some t ->
+          print_string (Narada_core.Synth.to_source t);
+          let instantiate = Narada_core.Pipeline.instantiator an t in
+          let races = ref [] in
+          let restart () =
+            match instantiate () with
+            | Error e -> Error e
+            | Ok inst ->
+              let ft = Detect.Fasttrack.attach inst.Detect.Racefuzzer.ri_machine in
+              Runtime.Machine.add_observer inst.Detect.Racefuzzer.ri_machine
+                (fun _ ->
+                  List.iter
+                    (fun r ->
+                      let k = Detect.Race.key_of r in
+                      if not (List.exists (fun k' -> Detect.Race.compare_key k k' = 0) !races)
+                      then races := k :: !races)
+                    (Detect.Fasttrack.reports ft));
+              Ok inst.Detect.Racefuzzer.ri_machine
+          in
+          let config =
+            {
+              Conc.Systematic.default_config with
+              Conc.Systematic.sc_preemption_bound = bound;
+            }
+          in
+          (match Conc.Systematic.explore ~config ~restart () with
+          | Error msg ->
+            prerr_endline ("narada: " ^ msg);
+            exit 1
+          | Ok stats ->
+            Printf.printf
+              "\nsystematic exploration: %d executions (preemption bound %d)%s, %d deadlocks\n"
+              stats.Conc.Systematic.st_executions bound
+              (if stats.Conc.Systematic.st_exhausted then " [budget hit]" else "")
+              stats.Conc.Systematic.st_deadlocks;
+            Printf.printf "races observed across all explored schedules:\n";
+            List.iter
+              (fun k -> Printf.printf "  %s\n" (Detect.Race.key_to_string k))
+              (List.rev !races))))
+  in
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Corpus id.")
+  in
+  let test_id =
+    Arg.(value & opt int 0 & info [ "test" ] ~docv:"N" ~doc:"Synthesized test id.")
+  in
+  let bound =
+    Arg.(value & opt int 2 & info [ "bound" ] ~docv:"K" ~doc:"Preemption bound.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore a synthesized test's schedules (CHESS-style \
+          preemption-bounded search) and report every race observed.")
+    Term.(const run $ id $ test_id $ bound)
+
+(* ---- deadlock ---- *)
+
+let deadlock_cmd =
+  let run file corpus client entry =
+    let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
+    let client = if corpus <> None then default_client else client in
+    let entry = if corpus <> None then default_entry else entry in
+    let cu = compile_or_die src in
+    match
+      Deadlock.Dlsynth.run cu ~client_classes:[ client ] ~seed_cls:client
+        ~seed_meth:entry
+    with
+    | Error e ->
+      prerr_endline ("narada: " ^ e);
+      exit 1
+    | Ok rows ->
+      if rows = [] then print_endline "no ABBA lock-order pairs found"
+      else
+        List.iter
+          (fun (r : Deadlock.Dlsynth.result_row) ->
+            print_endline (Deadlock.Lockorder.pair_to_string r.Deadlock.Dlsynth.rr_pair);
+            (match r.Deadlock.Dlsynth.rr_confirmed with
+            | Some c when c.Deadlock.Dlsynth.co_deadlocked ->
+              Printf.printf "  => DEADLOCK confirmed (%s)
+" c.Deadlock.Dlsynth.co_schedule
+            | Some _ -> print_endline "  => did not deadlock"
+            | None -> print_endline "  => not instantiable"))
+          rows
+  in
+  Cmd.v
+    (Cmd.info "deadlock"
+       ~doc:
+         "Extract lock orders from the sequential seed trace, synthesize           ABBA deadlock tests and confirm them (the companion OOPSLA'14           technique).")
+    Term.(const run $ file_arg $ corpus_arg $ client_arg $ entry_arg)
+
+let main_cmd =
+  let doc =
+    "Synthesizing racy tests: an executable reproduction of Narada (PLDI 2015)"
+  in
+  Cmd.group (Cmd.info "narada" ~version:"1.0.0" ~doc)
+    [
+      corpus_cmd;
+      parse_cmd;
+      run_cmd;
+      trace_cmd;
+      analyze_cmd;
+      synthesize_cmd;
+      detect_cmd;
+      eval_cmd;
+      contege_cmd;
+      deadlock_cmd;
+      explore_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/contege_vs_narada.ml: Array Conc Contege Corpus Detect List Narada_core Printf Sys Unix

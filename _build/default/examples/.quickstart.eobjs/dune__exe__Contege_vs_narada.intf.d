@@ -1,0 +1,1 @@
+examples/contege_vs_narada.mli:

@@ -1,0 +1,1 @@
+examples/deadlock_synthesis.ml: Deadlock Jir List Printf String

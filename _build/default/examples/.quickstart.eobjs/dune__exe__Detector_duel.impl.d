@@ -1,0 +1,1 @@
+examples/detector_duel.ml: Conc Detect Jir List Option Printf Runtime String

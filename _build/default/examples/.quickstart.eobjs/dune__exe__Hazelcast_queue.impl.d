@@ -1,0 +1,1 @@
+examples/hazelcast_queue.ml: Array Conc Corpus Detect List Narada_core Printf Runtime

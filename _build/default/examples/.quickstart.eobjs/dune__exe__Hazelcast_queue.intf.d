@@ -1,0 +1,1 @@
+examples/hazelcast_queue.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conc Detect List Narada_core Printf

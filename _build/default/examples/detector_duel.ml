@@ -1,0 +1,64 @@
+(* Detector comparison: Eraser-style lockset vs FastTrack-style
+   happens-before on three scenarios, showing the classic trade-off the
+   paper's tooling builds on (lockset over-approximates; HB is precise
+   for the observed schedule).
+
+     dune exec examples/detector_duel.exe *)
+
+let scenario ~name ~src ~explain =
+  Printf.printf "--- %s ---\n" name;
+  let cu = Jir.Compile.compile_source src in
+  let m = Runtime.Machine.create ~client_classes:[ "Main" ] cu in
+  let ls = Detect.Lockset.attach m in
+  let ft = Detect.Fasttrack.attach m in
+  let cm = Option.get (Jir.Code.find_static cu "Main" "main") in
+  ignore (Runtime.Machine.new_thread m ~client:true ~cm ~recv:None ~args:[] ());
+  ignore (Conc.Exec.run m (Conc.Scheduler.random ~seed:5L));
+  let keys rs =
+    List.map (fun r -> Detect.Race.key_to_string (Detect.Race.key_of r)) rs
+  in
+  Printf.printf "  eraser reports   : %s\n"
+    (match keys (Detect.Lockset.eraser_reports ls) with
+    | [] -> "(none)"
+    | l -> String.concat "; " l);
+  Printf.printf "  hybrid candidates: %s\n"
+    (match keys (Detect.Lockset.candidates ls) with
+    | [] -> "(none)"
+    | l -> String.concat "; " l);
+  Printf.printf "  fasttrack        : %s\n"
+    (match keys (Detect.Fasttrack.reports ft) with
+    | [] -> "(none)"
+    | l -> String.concat "; " l);
+  Printf.printf "  => %s\n\n" explain
+
+let () =
+  print_endline "=== lockset vs happens-before ===\n";
+  scenario ~name:"true race (no locks)"
+    ~src:
+      "class A { int v; void w() { this.v = this.v + 1; } } class Main { \
+       static void main() { A a = new A(); thread t1 = spawn a.w(); thread \
+       t2 = spawn a.w(); join t1; join t2; } }"
+    ~explain:"both detectors flag the unsynchronized counter";
+  scenario ~name:"well-locked counter"
+    ~src:
+      "class A { int v; synchronized void w() { this.v = this.v + 1; } } \
+       class Main { static void main() { A a = new A(); thread t1 = spawn \
+       a.w(); thread t2 = spawn a.w(); join t1; join t2; } }"
+    ~explain:"both detectors stay silent";
+  scenario ~name:"join-ordered handoff (lockset FP)"
+    ~src:
+      "class A { int v; void w() { this.v = 1; } } class Main { static void \
+       main() { A a = new A(); thread t = spawn a.w(); join t; int x = a.v; \
+       Sys.print(x); } }"
+    ~explain:
+      "fasttrack sees the join edge and stays silent; the lockset view \
+       reports its classic false positive — which is exactly why the \
+       paper pairs lockset candidates with directed confirmation";
+  scenario ~name:"distinct locks on shared state (the paper's bug shape)"
+    ~src:
+      "class S { int v; } class W { S s; W(S s) { this.s = s; } synchronized \
+       void bump() { this.s.v = this.s.v + 1; } } class Main { static void \
+       main() { S s = new S(); W w1 = new W(s); W w2 = new W(s); thread t1 = \
+       spawn w1.bump(); thread t2 = spawn w2.bump(); join t1; join t2; } }"
+    ~explain:
+      "each thread holds a lock — just not the same one; both detectors fire"

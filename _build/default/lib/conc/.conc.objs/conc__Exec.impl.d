@@ -1,0 +1,1 @@
+lib/conc/exec.ml: Jir List Runtime Scheduler

@@ -1,0 +1,1 @@
+lib/conc/exec.mli: Jir Runtime Scheduler

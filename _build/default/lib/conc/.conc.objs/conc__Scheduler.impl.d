@@ -1,0 +1,1 @@
+lib/conc/scheduler.ml: Hashtbl Int64 List Option Printf Runtime

@@ -1,0 +1,1 @@
+lib/conc/systematic.ml: Array List Queue Runtime

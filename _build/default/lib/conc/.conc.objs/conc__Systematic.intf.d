@@ -1,0 +1,1 @@
+lib/conc/systematic.mli: Runtime

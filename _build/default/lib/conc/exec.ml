@@ -1,0 +1,71 @@
+(* Multithreaded executor: drives a machine's threads under a scheduler
+   until quiescence, detecting deadlocks and recording the schedule for
+   replay.
+
+   Observers (race detectors, trace recorders) attach to the machine
+   itself; this module only owns scheduling. *)
+
+type outcome =
+  | All_finished
+  | Deadlock of Runtime.Value.tid list (* live threads, none runnable *)
+  | Fuel_exhausted
+
+type run_result = {
+  outcome : outcome;
+  steps : int;
+  decisions : Runtime.Value.tid list; (* schedule actually taken, for replay *)
+  crashes : (Runtime.Value.tid * string) list;
+}
+
+let default_fuel = 400_000
+
+(* Run until every thread is finished/crashed, a deadlock is reached, or
+   fuel runs out. *)
+let run ?(fuel = default_fuel) (m : Runtime.Machine.t) (sched : Scheduler.t) :
+    run_result =
+  let decisions = ref [] in
+  let steps = ref 0 in
+  let rec loop n =
+    if n <= 0 then Fuel_exhausted
+    else
+      match Runtime.Machine.runnable_tids m with
+      | [] ->
+        if Runtime.Machine.live_tids m = [] then All_finished
+        else Deadlock (Runtime.Machine.live_tids m)
+      | runnable -> (
+        let tid = Scheduler.choose sched m runnable in
+        match Runtime.Machine.step m tid with
+        | Runtime.Machine.Stepped ->
+          decisions := tid :: !decisions;
+          incr steps;
+          loop (n - 1)
+        | Runtime.Machine.Blocked | Runtime.Machine.Not_runnable ->
+          (* The scheduler picked a thread that cannot move after all
+             (e.g. lock was grabbed since the runnable query); just
+             re-query.  Costs fuel to guarantee termination. *)
+          loop (n - 1))
+  in
+  let outcome = loop fuel in
+  let crashes =
+    List.filter_map
+      (fun tid ->
+        match Runtime.Machine.crash_reason m tid with
+        | Some msg -> Some (tid, msg)
+        | None -> None)
+      (Runtime.Machine.threads m)
+  in
+  { outcome; steps = !steps; decisions = List.rev !decisions; crashes }
+
+(* Convenience: compile-and-run a whole program from its static main,
+   scheduling any threads it spawns. *)
+let run_program ?(fuel = default_fuel) ?(seed = 42L)
+    (cu : Jir.Code.unit_) ~client_classes ~cls ~meth (sched : Scheduler.t) :
+    run_result * Runtime.Machine.t =
+  let m = Runtime.Machine.create ~client_classes ~seed cu in
+  let cm =
+    match Jir.Code.find_static cu cls meth with
+    | Some cm -> cm
+    | None -> Jir.Diag.error "no static entry point %s.%s" cls meth
+  in
+  ignore (Runtime.Machine.new_thread m ~client:true ~cm ~recv:None ~args:[] ());
+  (run ~fuel m sched, m)

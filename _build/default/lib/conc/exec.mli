@@ -1,0 +1,32 @@
+(** Multithreaded executor: drives a machine's threads under a scheduler
+    until quiescence, detecting deadlocks and recording the schedule for
+    replay.  Observers (race detectors, trace recorders) attach to the
+    machine itself. *)
+
+type outcome =
+  | All_finished
+  | Deadlock of Runtime.Value.tid list  (** live threads, none runnable *)
+  | Fuel_exhausted
+
+type run_result = {
+  outcome : outcome;
+  steps : int;
+  decisions : Runtime.Value.tid list;  (** schedule taken, for replay *)
+  crashes : (Runtime.Value.tid * string) list;
+}
+
+val default_fuel : int
+
+val run : ?fuel:int -> Runtime.Machine.t -> Scheduler.t -> run_result
+
+val run_program :
+  ?fuel:int ->
+  ?seed:int64 ->
+  Jir.Code.unit_ ->
+  client_classes:Jir.Ast.id list ->
+  cls:Jir.Ast.id ->
+  meth:Jir.Ast.id ->
+  Scheduler.t ->
+  run_result * Runtime.Machine.t
+(** Compile-and-run a whole program from a static entry point,
+    scheduling any threads it spawns. *)

@@ -1,0 +1,141 @@
+(* Thread schedulers for the Jir VM.
+
+   A scheduler picks which runnable thread steps next; it is consulted
+   at every instruction, which is the granularity race-directed testing
+   needs.  All schedulers are deterministic given their seed, so any
+   execution can be replayed exactly. *)
+
+type decision = Runtime.Value.tid
+
+(* A scheduler: given the machine and the runnable thread ids (non-empty,
+   ascending), choose one. *)
+type t = { name : string; choose : Runtime.Machine.t -> Runtime.Value.tid list -> decision }
+
+let name t = t.name
+
+let choose t m runnable = t.choose m runnable
+
+(* splitmix64 stream, kept per-scheduler. *)
+type rng = { mutable state : int64 }
+
+let mk_rng seed = { state = seed }
+
+let rand_bits rng =
+  let open Int64 in
+  let s = add rng.state 0x9E3779B97F4A7C15L in
+  rng.state <- s;
+  let z = s in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let rand_below rng n =
+  if n <= 0 then invalid_arg "rand_below";
+  Int64.to_int (Int64.rem (Int64.logand (rand_bits rng) Int64.max_int) (Int64.of_int n))
+
+let round_robin () =
+  let last = ref (-1) in
+  {
+    name = "round-robin";
+    choose =
+      (fun _m runnable ->
+        let next =
+          match List.find_opt (fun t -> t > !last) runnable with
+          | Some t -> t
+          | None -> List.hd runnable
+        in
+        last := next;
+        next);
+  }
+
+let random ~seed =
+  let rng = mk_rng seed in
+  {
+    name = Printf.sprintf "random(%Ld)" seed;
+    choose = (fun _m runnable -> List.nth runnable (rand_below rng (List.length runnable)));
+  }
+
+(* Random scheduler with inertia: keeps running the same thread for a
+   geometric number of steps before switching.  This explores coarser
+   interleavings, which is how naive stress testing behaves and is a
+   useful baseline against the race-directed scheduler. *)
+let random_coarse ~seed ~switch_denominator =
+  let rng = mk_rng seed in
+  let current = ref (-1) in
+  {
+    name = Printf.sprintf "random-coarse(%Ld)" seed;
+    choose =
+      (fun _m runnable ->
+        if List.mem !current runnable && rand_below rng switch_denominator <> 0
+        then !current
+        else (
+          let t = List.nth runnable (rand_below rng (List.length runnable)) in
+          current := t;
+          t));
+  }
+
+(* A scheduler driven by an explicit pre-recorded decision list; used
+   for schedule replay.  Falls back to the first runnable thread when a
+   recorded decision is impossible (the usual replay divergence rule). *)
+let replay ~decisions =
+  let remaining = ref decisions in
+  {
+    name = "replay";
+    choose =
+      (fun _m runnable ->
+        match !remaining with
+        | d :: rest when List.mem d runnable ->
+          remaining := rest;
+          d
+        | _ :: rest ->
+          remaining := rest;
+          List.hd runnable
+        | [] -> List.hd runnable);
+  }
+
+(* A custom scheduler from a function (used by RaceFuzzer). *)
+let of_fun ~name choose = { name; choose }
+
+(* PCT — probabilistic concurrency testing (Burckhardt et al., ASPLOS'10).
+   Threads get distinct random priorities; at [depth - 1] pre-chosen step
+   indices the currently running thread's priority drops below all
+   others.  Always runs the highest-priority runnable thread, which
+   finds any bug of depth d with probability >= 1/(n * k^(d-1)). *)
+let pct ~seed ~depth ~expected_steps =
+  let rng = mk_rng seed in
+  (* priorities: large random values, lazily assigned per thread *)
+  let prio : (Runtime.Value.tid, int) Hashtbl.t = Hashtbl.create 8 in
+  let next_low = ref 0 in
+  let priority tid =
+    match Hashtbl.find_opt prio tid with
+    | Some p -> p
+    | None ->
+      let p = 1000 + rand_below rng 1_000_000 in
+      Hashtbl.replace prio tid p;
+      p
+  in
+  let change_points =
+    List.init (max 0 (depth - 1)) (fun _ -> rand_below rng (max 1 expected_steps))
+  in
+  let step = ref 0 in
+  {
+    name = Printf.sprintf "pct(d=%d,%Ld)" depth seed;
+    choose =
+      (fun _m runnable ->
+        let best =
+          List.fold_left
+            (fun acc tid ->
+              match acc with
+              | None -> Some tid
+              | Some b -> if priority tid > priority b then Some tid else acc)
+            None runnable
+        in
+        let tid = Option.value ~default:(List.hd runnable) best in
+        if List.mem !step change_points then begin
+          (* demote the running thread below every other priority *)
+          decr next_low;
+          Hashtbl.replace prio tid !next_low
+        end;
+        incr step;
+        tid);
+  }

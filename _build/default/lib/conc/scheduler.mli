@@ -1,0 +1,37 @@
+(** Thread schedulers for the Jir VM.
+
+    A scheduler is consulted at every instruction and picks which
+    runnable thread steps next.  All schedulers are deterministic given
+    their seed, so executions can be replayed exactly. *)
+
+type decision = Runtime.Value.tid
+
+type t
+
+val name : t -> string
+
+val choose : t -> Runtime.Machine.t -> Runtime.Value.tid list -> decision
+(** [choose t m runnable] picks one of [runnable] (non-empty). *)
+
+val round_robin : unit -> t
+
+val random : seed:int64 -> t
+(** Uniform choice at every step. *)
+
+val random_coarse : seed:int64 -> switch_denominator:int -> t
+(** Random with inertia: keeps the current thread running, switching
+    with probability [1/switch_denominator] per step — how naive stress
+    testing behaves; a baseline for the race-directed scheduler. *)
+
+val replay : decisions:Runtime.Value.tid list -> t
+(** Follow a pre-recorded decision list; falls back to the first
+    runnable thread when a decision is impossible. *)
+
+val of_fun :
+  name:string -> (Runtime.Machine.t -> Runtime.Value.tid list -> decision) -> t
+
+val pct : seed:int64 -> depth:int -> expected_steps:int -> t
+(** PCT — probabilistic concurrency testing (Burckhardt et al.,
+    ASPLOS'10): random distinct priorities with [depth - 1] random
+    priority-change points; always runs the highest-priority runnable
+    thread.  Finds depth-[d] bugs with probability >= 1/(n·k^(d-1)). *)

@@ -1,0 +1,1 @@
+lib/core/absheap.ml: Hashtbl Int Jir List Option Queue Runtime String Sym

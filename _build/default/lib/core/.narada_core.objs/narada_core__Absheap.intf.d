@@ -1,0 +1,1 @@
+lib/core/absheap.mli: Hashtbl Jir Runtime Sym

@@ -1,0 +1,1 @@
+lib/core/access.ml: Absheap Array Hashtbl Jir List Printf Runtime String Summary Sym

@@ -1,0 +1,1 @@
+lib/core/context.ml: Int Jir List Printf String Summary Sym

@@ -1,0 +1,1 @@
+lib/core/pairs.ml: Access Hashtbl Jir List Printf Runtime String Sym

@@ -1,0 +1,1 @@
+lib/core/pairs.mli: Access Jir Runtime Sym

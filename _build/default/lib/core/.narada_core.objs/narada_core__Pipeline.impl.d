@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Access Detect Jir List Pairs Printf Runtime Summary Synth Unix

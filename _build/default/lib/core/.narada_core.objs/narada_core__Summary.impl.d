@@ -1,0 +1,1 @@
+lib/core/summary.ml: Format Jir List Printf String Sym

@@ -1,0 +1,1 @@
+lib/core/sym.ml: Format Int List Printf String

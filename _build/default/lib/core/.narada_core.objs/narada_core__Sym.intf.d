@@ -1,0 +1,1 @@
+lib/core/sym.mli: Format

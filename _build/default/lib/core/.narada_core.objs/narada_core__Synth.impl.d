@@ -1,0 +1,1 @@
+lib/core/synth.ml: Buffer Context Detect Fun Hashtbl Jir List Option Pairs Printf Result Runtime String Summary Sym

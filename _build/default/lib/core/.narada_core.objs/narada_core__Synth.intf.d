@@ -1,0 +1,1 @@
+lib/core/synth.mli: Context Detect Jir Pairs Summary

@@ -1,0 +1,257 @@
+(* The access analysis of §3.1–3.2: fold the inference rules of Fig. 7
+   (extended per Fig. 9) over a sequential execution trace, producing
+
+   - A: for every access label, the (writeable, unprotected) bits;
+   - the access records themselves, localized to client-visible I-paths
+     of their enclosing client-level invocation;
+   - D: the access summaries, surfaced as {!Summary.setter}s.
+
+   Definitions (matching the paper):
+   - an access to [x.f] is *unprotected* iff the owner [x] is
+     controllable and no lock is held on [x] at the access;
+   - a write [x.f := y] is *writeable* iff both [x] and [y] are
+     controllable (so a client can steer the assignment);
+   - return values influenced by parameters yield Ir-rooted summaries. *)
+
+type kind = Kread | Kwrite
+
+let kind_to_string = function Kread -> "read" | Kwrite -> "write"
+
+type anchor = {
+  an_qname : string;
+  an_cls : Jir.Ast.id;
+  an_meth : Jir.Ast.id;
+  an_frame : Runtime.Event.frame_id;
+  an_occurrence : int; (* which client invocation of this qname *)
+}
+
+type acc = {
+  acc_label : Runtime.Event.label;
+  acc_site : Runtime.Event.site;
+  acc_kind : kind;
+  acc_field : Jir.Ast.id;
+  acc_idx : int option;
+  acc_obj : Runtime.Value.addr;
+  acc_obj_cls : string option; (* concrete class of the owner *)
+  acc_anchor : anchor option; (* enclosing client-level invocation *)
+  acc_owner_path : Sym.t option; (* owner as an I-path of the anchor *)
+  acc_root_cls : string option; (* concrete class of the I-path's root object *)
+  acc_unprot : bool;
+  acc_writeable : bool;
+  acc_in_ctor : bool; (* anchor is a constructor *)
+  acc_in_lib : bool; (* the access executes in library code *)
+}
+
+type result = {
+  accesses : acc list;
+  summary : Summary.t;
+  a_map : (Runtime.Event.label * (bool * bool)) list;
+      (* label → (writeable, unprotected): the paper's A *)
+}
+
+let acc_to_string a =
+  Printf.sprintf "%s %s.%s%s at %s%s%s [%s%s]"
+    (kind_to_string a.acc_kind)
+    (match a.acc_owner_path with
+    | Some p -> Sym.to_string p
+    | None -> Printf.sprintf "@%d" a.acc_obj)
+    a.acc_field
+    (match a.acc_idx with Some i -> Printf.sprintf "[%d]" i | None -> "")
+    (Runtime.Event.site_to_string a.acc_site)
+    (match a.acc_anchor with
+    | Some an -> Printf.sprintf " anchor=%s#%d" an.an_qname an.an_occurrence
+    | None -> "")
+    (if a.acc_in_ctor then " (ctor)" else "")
+    (if a.acc_writeable then "W" else "-")
+    (if a.acc_unprot then "U" else "-")
+
+(* Explore the fields of a returned object (through the shadow heap) up
+   to a small depth, yielding Ir-rooted setter entries for fields whose
+   current value is controllable and traceable to a parameter of the
+   anchor — the return rule of Fig. 9. *)
+let return_setters (h : Absheap.t) (anchor : Absheap.frame_info)
+    ~(ret_addr : Runtime.Value.addr) : Summary.setter list =
+  let out = ref [] in
+  let cls_name = Absheap.class_of h ret_addr in
+  let rec go addr path depth =
+    if depth > 0 then
+      match Absheap.shadow_fields h addr with
+      | None -> ()
+      | Some tbl ->
+        let fields =
+          List.sort String.compare (Hashtbl.fold (fun f _ acc -> f :: acc) tbl [])
+        in
+        List.iter
+          (fun f ->
+            match Runtime.Value.addr_of (Hashtbl.find tbl f) with
+            | Some a when Absheap.controllable h a -> (
+              match Absheap.src h anchor a with
+              | Some rhs when rhs.Sym.root <> Sym.Recv || rhs.Sym.fields <> []
+                ->
+                (* A pure I0 (the receiver itself) is not interesting:
+                   the client already holds it. *)
+                out :=
+                  {
+                    Summary.set_qname = anchor.Absheap.fi_qname;
+                    set_cls = anchor.Absheap.fi_cls;
+                    set_meth = anchor.Absheap.fi_meth;
+                    set_static = anchor.Absheap.fi_static;
+                    set_lhs = Sym.make Sym.Ret (path @ [ f ]);
+                    set_rhs = rhs;
+                    set_ret_cls = cls_name;
+                  }
+                  :: !out;
+                (* Deeper fields may also be client-settable (the §3.2
+                   example yields both Ir.z and Ir.z.f). *)
+                go a (path @ [ f ]) (depth - 1)
+              | Some _ -> ()
+              | None -> go a (path @ [ f ]) (depth - 1))
+            | Some a -> go a (path @ [ f ]) (depth - 1)
+            | None -> ())
+          fields
+  in
+  go ret_addr [] 3;
+  List.rev !out
+
+(* Run the full analysis over a trace. *)
+let analyze (_cu : Jir.Code.unit_) ~client_classes (trace : Runtime.Trace.t) :
+    result =
+  let h = Absheap.create ~client_classes in
+  let accesses = ref [] in
+  let setters = ref [] in
+  let a_map = ref [] in
+  let is_lib_frame frame =
+    match Absheap.frame_info h frame with
+    | Some fi -> not (Absheap.is_client_class h fi.Absheap.fi_cls)
+    | None -> false
+  in
+  let anchor_of frame =
+    match Absheap.client_anchor h frame with
+    | None -> None
+    | Some fi ->
+      Some
+        {
+          an_qname = fi.Absheap.fi_qname;
+          an_cls = fi.Absheap.fi_cls;
+          an_meth = fi.Absheap.fi_meth;
+          an_frame = fi.Absheap.fi_frame;
+          an_occurrence = fi.Absheap.fi_occurrence;
+        }
+  in
+  let record_access ~label ~site ~frame ~kind ~obj ~field ~idx ~rhs_value =
+    let anchor = anchor_of frame in
+    let owner_path =
+      match Absheap.client_anchor h frame with
+      | Some fi -> Absheap.src h fi obj
+      | None -> None
+    in
+    let root_cls =
+      match (Absheap.client_anchor h frame, owner_path) with
+      | Some fi, Some p -> (
+        let pos =
+          match p.Sym.root with Sym.Recv -> 0 | Sym.Arg j -> j | Sym.Ret -> -1
+        in
+        match List.assoc_opt pos fi.Absheap.fi_iroots with
+        | Some a -> Absheap.class_of h a
+        | None -> None)
+      | (Some _ | None), _ -> None
+    in
+    let unprot = Absheap.controllable h obj && not (Absheap.locked h obj) in
+    let writeable =
+      match (kind, rhs_value) with
+      | Kwrite, Some v -> (
+        Absheap.controllable h obj
+        &&
+        match Runtime.Value.addr_of v with
+        | Some a -> Absheap.controllable h a
+        | None -> false)
+      | Kwrite, None | Kread, _ -> false
+    in
+    let in_ctor =
+      match anchor with
+      | Some an -> String.equal an.an_meth Jir.Ast.ctor_name
+      | None -> false
+    in
+    let acc =
+      {
+        acc_label = label;
+        acc_site = site;
+        acc_kind = kind;
+        acc_field = field;
+        acc_idx = idx;
+        acc_obj = obj;
+        acc_obj_cls = Absheap.class_of h obj;
+        acc_anchor = anchor;
+        acc_owner_path = owner_path;
+        acc_root_cls = root_cls;
+        acc_unprot = unprot;
+        acc_writeable = writeable;
+        acc_in_ctor = in_ctor;
+        acc_in_lib = is_lib_frame frame;
+      }
+    in
+    accesses := acc :: !accesses;
+    a_map := (label, (writeable, unprot)) :: !a_map;
+    (* D: a writeable write with resolvable paths becomes a setter. *)
+    if writeable then
+      match (Absheap.client_anchor h frame, rhs_value) with
+      | Some fi, Some v -> (
+        match Runtime.Value.addr_of v with
+        | Some rhs_addr -> (
+          match (Absheap.src h fi obj, Absheap.src h fi rhs_addr) with
+          | Some owner_p, Some rhs_p when rhs_p.Sym.root <> Sym.Ret ->
+            (* rhs must be parameter-derived to be client-suppliable. *)
+            let rhs_ok =
+              match rhs_p.Sym.root with
+              | Sym.Arg _ -> true
+              | Sym.Recv | Sym.Ret -> false
+            in
+            if rhs_ok then
+              setters :=
+                {
+                  Summary.set_qname = fi.Absheap.fi_qname;
+                  set_cls = fi.Absheap.fi_cls;
+                  set_meth = fi.Absheap.fi_meth;
+                  set_static = fi.Absheap.fi_static;
+                  set_lhs = Sym.append owner_p field;
+                  set_rhs = rhs_p;
+                  set_ret_cls = None;
+                }
+                :: !setters
+          | Some _, Some _ | Some _, None | None, _ -> ())
+        | None -> ())
+      | (Some _ | None), _ -> ()
+  in
+  Array.iter
+    (fun (e : Runtime.Event.t) ->
+      match e with
+      | Runtime.Event.Write { label; site; frame; obj; field; idx; v; _ } ->
+        (* Analyze before folding the write into the shadow heap so the
+           rhs path reflects where the value came from. *)
+        record_access ~label ~site ~frame ~kind:Kwrite ~obj ~field ~idx
+          ~rhs_value:(Some v);
+        Absheap.consume h e
+      | Runtime.Event.Read { label; site; frame; obj; field; idx; _ } ->
+        Absheap.consume h e;
+        record_access ~label ~site ~frame ~kind:Kread ~obj ~field ~idx
+          ~rhs_value:None
+      | Runtime.Event.Return { to_client = true; frame; v = Some v; _ } -> (
+        Absheap.consume h e;
+        match (Absheap.frame_info h frame, Runtime.Value.addr_of v) with
+        | Some fi, Some ret_addr ->
+          setters := List.rev_append (return_setters h fi ~ret_addr) !setters;
+          (* The client now holds the returned object. *)
+          Absheap.mark_controllable_deep h ret_addr
+        | (Some _ | None), _ -> ())
+      | Runtime.Event.Const _ | Runtime.Event.Move _ | Runtime.Event.Alloc _
+      | Runtime.Event.Lock _ | Runtime.Event.Unlock _ | Runtime.Event.Invoke _
+      | Runtime.Event.Param _ | Runtime.Event.Return _
+      | Runtime.Event.Spawned _ | Runtime.Event.Joined _
+      | Runtime.Event.Thrown _ ->
+        Absheap.consume h e)
+    trace;
+  {
+    accesses = List.rev !accesses;
+    summary = Summary.of_list (List.rev !setters);
+    a_map = List.rev !a_map;
+  }

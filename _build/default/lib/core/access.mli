@@ -1,0 +1,50 @@
+(** The access analysis of §3.1-3.2: fold the inference rules of Fig. 7
+    (extended per Fig. 9) over a sequential trace, producing the
+    per-label A bits (writeable / unprotected), localized access
+    records, and the D summaries surfaced as {!Summary.setter}s.
+
+    Definitions (per the paper): an access to [x.f] is *unprotected* iff
+    [x] is controllable and unlocked at the access; a write [x.f := y]
+    is *writeable* iff both [x] and [y] are controllable. *)
+
+type kind = Kread | Kwrite
+
+val kind_to_string : kind -> string
+
+(** The enclosing client-level invocation of an access. *)
+type anchor = {
+  an_qname : string;
+  an_cls : Jir.Ast.id;
+  an_meth : Jir.Ast.id;
+  an_frame : Runtime.Event.frame_id;
+  an_occurrence : int;
+}
+
+type acc = {
+  acc_label : Runtime.Event.label;
+  acc_site : Runtime.Event.site;
+  acc_kind : kind;
+  acc_field : Jir.Ast.id;
+  acc_idx : int option;
+  acc_obj : Runtime.Value.addr;
+  acc_obj_cls : string option;
+  acc_anchor : anchor option;
+  acc_owner_path : Sym.t option;  (** owner as an I-path of the anchor *)
+  acc_root_cls : string option;  (** class of the I-path's root object *)
+  acc_unprot : bool;
+  acc_writeable : bool;
+  acc_in_ctor : bool;
+  acc_in_lib : bool;
+}
+
+type result = {
+  accesses : acc list;
+  summary : Summary.t;
+  a_map : (Runtime.Event.label * (bool * bool)) list;
+      (** label → (writeable, unprotected): the paper's A *)
+}
+
+val acc_to_string : acc -> string
+
+val analyze :
+  Jir.Code.unit_ -> client_classes:Jir.Ast.id list -> Runtime.Trace.t -> result

@@ -1,0 +1,159 @@
+(* Context derivation: the Q query rules of Fig. 10 (§3.3).
+
+   Given the owner path [I_x.f1...fk] of a racy access, derive a recipe
+   — a method sequence with parameter flows — whose execution makes the
+   owner's field path point to a chosen shared object:
+
+   - *set*:      a method assigning the full path from a parameter;
+   - *concat*:   a method assigning a prefix, composed with a recipe
+                 that pre-wires the payload object's remaining path;
+   - *deep-set*: a single method assigning a multi-field path (these
+                 fall out of the trace-based D directly, because src is
+                 resolved with exact aliasing at the write);
+   - factories:  Ir-rooted setters that *construct* an owner whose path
+                 is pre-wired (e.g. createSafeWriteBehindQueue);
+   - constructor setters rebuild the owner with chosen arguments
+     ("we treat constructors as any other method", §4). *)
+
+type recipe =
+  | Share_owner (* empty path: share the owner object itself *)
+  | Apply of { setter : Summary.setter; payload : payload }
+
+and payload =
+  | Shared (* pass the shared object directly *)
+  | Prepared of { cls : string option; recipe : recipe }
+      (* obtain an instance (harvested from the seed execution of the
+         sub-setter), pre-wire it with [recipe], then pass it *)
+
+let rec recipe_to_string = function
+  | Share_owner -> "share-owner"
+  | Apply { setter; payload } ->
+    Printf.sprintf "%s(%s)" setter.Summary.set_qname (payload_to_string payload)
+
+and payload_to_string = function
+  | Shared -> "SHARED"
+  | Prepared { recipe; _ } -> recipe_to_string recipe
+
+let rec recipe_depth = function
+  | Share_owner -> 0
+  | Apply { payload = Shared; _ } -> 1
+  | Apply { payload = Prepared { recipe; _ }; _ } -> 1 + recipe_depth recipe
+
+(* The class of objects a setter's payload parameter position expects;
+   [None] when unknown (we then harvest by observation instead). *)
+let payload_param_cls (prog : Jir.Program.t) (s : Summary.setter) =
+  match s.Summary.set_rhs.Sym.root with
+  | Sym.Arg j -> (
+    let find_meth () =
+      if Summary.is_ctor s then
+        Jir.Program.constructors prog s.Summary.set_cls
+        |> List.find_opt (fun (m : Jir.Ast.method_decl) ->
+               List.length m.Jir.Ast.m_params >= j)
+      else
+        match Jir.Program.resolve_method prog s.Summary.set_cls s.Summary.set_meth with
+        | Some (_, m) -> Some m
+        | None -> (
+          match
+            Jir.Program.resolve_static_method prog s.Summary.set_cls
+              s.Summary.set_meth
+          with
+          | Some m -> Some m
+          | None -> None)
+    in
+    match find_meth () with
+    | Some m -> (
+      match List.nth_opt m.Jir.Ast.m_params (j - 1) with
+      | Some (Jir.Ast.Tclass c, _) -> Some c
+      | Some _ | None -> None)
+    | None -> None)
+  | Sym.Recv | Sym.Ret -> None
+
+(* Derive a recipe making [owner.path] point at a shared object, for an
+   owner of class [owner_cls].  Depth-bounded; prefers short method
+   sequences (the implementation "randomly selects one of the possible
+   methods" — we pick deterministically, shortest first). *)
+let derive (prog : Jir.Program.t) (summary : Summary.t)
+    ~(owner_cls : string option) ~(path : string list) : recipe option =
+  let rec go owner_cls path depth : recipe option =
+    if path = [] then Some Share_owner
+    else if depth <= 0 then None
+    else begin
+      (* Candidate setters: receiver-rooted setters applicable to the
+         owner class, plus factory setters producing such owners. *)
+      let recv_setters =
+        match owner_cls with
+        | Some c -> Summary.applicable_to prog summary ~owner_cls:c
+        | None ->
+          List.filter
+            (fun (s : Summary.setter) -> s.Summary.set_lhs.Sym.root = Sym.Recv)
+            (Summary.setters summary)
+      in
+      let fact_setters = Summary.factories prog summary ~owner_cls in
+      let try_setter (s : Summary.setter) : recipe option =
+        let lhs_fields = s.Summary.set_lhs.Sym.fields in
+        let rec prefix_rest pre p =
+          match (pre, p) with
+          | [], rest -> Some rest
+          | x :: pre', y :: p' when String.equal x y -> prefix_rest pre' p'
+          | _ :: _, _ -> None
+        in
+        match prefix_rest lhs_fields path with
+        | None -> None
+        | Some rest -> (
+          match s.Summary.set_rhs.Sym.root with
+          | Sym.Arg _ -> (
+            (* The payload must have path (rhs_fields @ rest) = SHARED *)
+            let payload_path = s.Summary.set_rhs.Sym.fields @ rest in
+            if payload_path = [] then Some (Apply { setter = s; payload = Shared })
+            else
+              let pcls = payload_param_cls prog s in
+              match go pcls payload_path (depth - 1) with
+              | Some sub ->
+                Some
+                  (Apply
+                     { setter = s; payload = Prepared { cls = pcls; recipe = sub } })
+              | None -> None)
+          | Sym.Recv | Sym.Ret -> None)
+      in
+      let candidates =
+        List.filter_map try_setter (recv_setters @ fact_setters)
+      in
+      match
+        List.sort (fun a b -> Int.compare (recipe_depth a) (recipe_depth b)) candidates
+      with
+      | [] -> None
+      | best :: _ -> Some best
+    end
+  in
+  go owner_cls path 4
+
+(* Derive the context for one racy-pair endpoint.  [None] means no
+   context could be derived — following §4/§5, the synthesizer then
+   falls back to sharing the longest prefix it can ("we attempt to
+   assign the prefixes of the dereference"), which may yield a test that
+   exposes no race (the Fig. 14 zero-race tests). *)
+type plan = {
+  plan_recipe : recipe option; (* recipe for the full path *)
+  plan_prefix : (string list * recipe) option;
+      (* best-effort: recipe for a strict prefix of the path *)
+}
+
+let plan_for (prog : Jir.Program.t) (summary : Summary.t)
+    ~(owner_cls : string option) ~(path : string list) : plan =
+  match derive prog summary ~owner_cls ~path with
+  | Some r -> { plan_recipe = Some r; plan_prefix = None }
+  | None ->
+    (* Try successively shorter prefixes. *)
+    let rec prefixes p =
+      match List.rev p with [] -> [] | _ :: tl -> List.rev tl :: prefixes (List.rev tl)
+    in
+    let rec first = function
+      | [] -> None
+      | pre :: rest -> (
+        if pre = [] then None
+        else
+          match derive prog summary ~owner_cls ~path:pre with
+          | Some r -> Some (pre, r)
+          | None -> first rest)
+    in
+    { plan_recipe = None; plan_prefix = first (prefixes path) }

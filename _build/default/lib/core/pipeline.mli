@@ -1,0 +1,36 @@
+(** End-to-end Narada pipeline (Fig. 6): sequential seed execution →
+    access analysis → pair generation → context derivation → test
+    synthesis, with wall-clock timing for the Table 4 reproduction. *)
+
+type analysis = {
+  an_cu : Jir.Code.unit_;
+  an_client_classes : Jir.Ast.id list;
+  an_seed_cls : Jir.Ast.id;
+  an_seed_meth : Jir.Ast.id;
+  an_trace_len : int;
+  an_access : Access.result;
+  an_pairs : Pairs.pair list;
+  an_tests : Synth.test list;
+  an_seconds : float;
+}
+
+val analyze :
+  ?seed:int64 ->
+  Jir.Code.unit_ ->
+  client_classes:Jir.Ast.id list ->
+  seed_cls:Jir.Ast.id ->
+  seed_meth:Jir.Ast.id ->
+  (analysis, string) result
+
+val analyze_source :
+  ?seed:int64 ->
+  string ->
+  client_classes:Jir.Ast.id list ->
+  seed_cls:Jir.Ast.id ->
+  seed_meth:Jir.Ast.id ->
+  (analysis, string) result
+(** Parse, compile and analyze Jir source text. *)
+
+val instantiator : analysis -> Synth.test -> Detect.Racefuzzer.instantiator
+
+val summary_to_string : analysis -> string

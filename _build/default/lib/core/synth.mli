@@ -1,0 +1,55 @@
+(** Test synthesis (§3.4, Algorithm 1).
+
+    [plan] groups racy pairs into tests; [instantiate] executes the
+    collectObjects / shareObjects phases on a fresh machine — seed
+    replays suspended before the invocations of interest, context
+    recipes applied so the owners alias — and spawns the two racy
+    threads, unscheduled.  Schedulers and detectors take over from the
+    returned {!Detect.Racefuzzer.instance}. *)
+
+type test = {
+  st_id : int;
+  st_pair : Pairs.pair;
+  st_plan_a : Context.plan;
+  st_plan_b : Context.plan;
+  st_seed_cls : Jir.Ast.id;
+  st_seed_meth : Jir.Ast.id;
+}
+
+val dedup_key : Pairs.pair -> string * string * string
+(** One test per unordered method pair and racy field (§5). *)
+
+val plan :
+  Jir.Program.t ->
+  Summary.t ->
+  seed_cls:Jir.Ast.id ->
+  seed_meth:Jir.Ast.id ->
+  Pairs.pair list ->
+  test list
+
+val covers : test -> Pairs.pair -> bool
+(** Does this test's group include the pair? *)
+
+val instantiate :
+  ?seed:int64 ->
+  ?apply_context:bool ->
+  Jir.Code.unit_ ->
+  client_classes:Jir.Ast.id list ->
+  test ->
+  (Detect.Racefuzzer.instance, string) result
+(** [apply_context:false] skips the shareObjects phase (used by the
+    ablation bench to show that context derivation is what exposes the
+    races). *)
+
+val instantiator :
+  ?seed:int64 ->
+  ?apply_context:bool ->
+  Jir.Code.unit_ ->
+  client_classes:Jir.Ast.id list ->
+  test ->
+  Detect.Racefuzzer.instantiator
+(** Deterministic: every call rebuilds an identical initial state. *)
+
+val to_source : test -> string
+(** Render the test as readable Jir-like pseudocode (the paper's
+    Fig. 3 shape). *)

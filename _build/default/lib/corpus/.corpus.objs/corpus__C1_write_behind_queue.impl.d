@@ -1,0 +1,1 @@
+lib/corpus/c1_write_behind_queue.ml: Corpus_def

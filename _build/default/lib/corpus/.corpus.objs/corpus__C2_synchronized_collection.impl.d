@@ -1,0 +1,1 @@
+lib/corpus/c2_synchronized_collection.ml: Corpus_def

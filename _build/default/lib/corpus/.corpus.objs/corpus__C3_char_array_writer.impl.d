@@ -1,0 +1,1 @@
+lib/corpus/c3_char_array_writer.ml: Corpus_def

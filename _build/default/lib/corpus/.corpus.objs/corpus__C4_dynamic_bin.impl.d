@@ -1,0 +1,1 @@
+lib/corpus/c4_dynamic_bin.ml: Corpus_def

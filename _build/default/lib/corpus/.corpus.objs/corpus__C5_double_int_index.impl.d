@@ -1,0 +1,1 @@
+lib/corpus/c5_double_int_index.ml: Corpus_def

@@ -1,0 +1,1 @@
+lib/corpus/c6_scanner.ml: Corpus_def

@@ -1,0 +1,1 @@
+lib/corpus/c7_pooled_executor.ml: Corpus_def

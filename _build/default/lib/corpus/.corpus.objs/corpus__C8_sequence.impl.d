@@ -1,0 +1,1 @@
+lib/corpus/c8_sequence.ml: Corpus_def

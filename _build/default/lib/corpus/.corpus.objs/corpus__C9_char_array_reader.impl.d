@@ -1,0 +1,1 @@
+lib/corpus/c9_char_array_reader.ml: Corpus_def

@@ -1,0 +1,1 @@
+lib/corpus/openjdk_extras.ml: Corpus_def

@@ -1,0 +1,234 @@
+(* C1 — hazelcast 3.3.2, SynchronizedWriteBehindQueue (the paper's
+   motivating example, Fig. 2).
+
+   The bug reproduced faithfully: the supposedly thread-safe wrapper
+   assigns [this] as the mutex instead of the wrapped queue, so two
+   wrappers around one CoalescedWriteBehindQueue serialize on *different*
+   locks and race on the inner queue's state
+   (https://github.com/hazelcast/hazelcast/issues/4039). *)
+
+let source =
+  {|
+// A delayed map-store entry (stands in for hazelcast's DelayedEntry).
+class Entry {
+  int key;
+  int value;
+  Entry(int k, int v) {
+    this.key = k;
+    this.value = v;
+  }
+  int getKey() { return this.key; }
+  int getValue() { return this.value; }
+}
+
+interface WriteBehindQueue {
+  void addFirst(Entry e);
+  void addLast(Entry e);
+  void removeFirst();
+  Entry get(int index);
+  Entry first();
+  int size();
+  void clear();
+  bool contains(int key);
+  int drainTo(WriteBehindQueue other);
+}
+
+// Key-coalescing queue: one slot per key, no synchronization at all
+// (hazelcast's CoalescedWriteBehindQueue).
+class CoalescedWriteBehindQueue implements WriteBehindQueue {
+  Entry[] slots;
+  int count;
+
+  CoalescedWriteBehindQueue() {
+    this.slots = new Entry[16];
+    this.count = 0;
+  }
+
+  int indexOfKey(int key) {
+    int i = 0;
+    while (i < this.count) {
+      Entry e = this.slots[i];
+      if (e.getKey() == key) { return i; }
+      i = i + 1;
+    }
+    return -1;
+  }
+
+  void grow() {
+    Entry[] bigger = new Entry[this.slots.length * 2];
+    Sys.arraycopy(this.slots, 0, bigger, 0, this.count);
+    this.slots = bigger;
+  }
+
+  void addFirst(Entry e) {
+    int at = this.indexOfKey(e.getKey());
+    if (at >= 0) {
+      this.slots[at] = e;
+    } else {
+      if (this.count == this.slots.length) { this.grow(); }
+      int i = this.count;
+      while (i > 0) {
+        this.slots[i] = this.slots[i - 1];
+        i = i - 1;
+      }
+      this.slots[0] = e;
+      this.count = this.count + 1;
+    }
+  }
+
+  void addLast(Entry e) {
+    int at = this.indexOfKey(e.getKey());
+    if (at >= 0) {
+      this.slots[at] = e;
+    } else {
+      if (this.count == this.slots.length) { this.grow(); }
+      this.slots[this.count] = e;
+      this.count = this.count + 1;
+    }
+  }
+
+  void removeFirst() {
+    if (this.count > 0) {
+      int i = 1;
+      while (i < this.count) {
+        this.slots[i - 1] = this.slots[i];
+        i = i + 1;
+      }
+      this.count = this.count - 1;
+      this.slots[this.count] = null;
+    }
+  }
+
+  Entry get(int index) {
+    if (index < 0 || index >= this.count) { return null; }
+    return this.slots[index];
+  }
+
+  Entry first() { return this.get(0); }
+
+  int size() { return this.count; }
+
+  void clear() {
+    int i = 0;
+    while (i < this.count) {
+      this.slots[i] = null;
+      i = i + 1;
+    }
+    this.count = 0;
+  }
+
+  bool contains(int key) { return this.indexOfKey(key) >= 0; }
+
+  int drainTo(WriteBehindQueue other) {
+    int moved = 0;
+    while (this.count > 0) {
+      Entry e = this.first();
+      other.addLast(e);
+      this.removeFirst();
+      moved = moved + 1;
+    }
+    return moved;
+  }
+}
+
+// "Thread safe write behind queue" — except the mutex is this, not the
+// wrapped queue (hazelcast's SynchronizedWriteBehindQueue bug).
+class SynchronizedWriteBehindQueue implements WriteBehindQueue {
+  WriteBehindQueue queue;
+  SynchronizedWriteBehindQueue mutex;
+
+  SynchronizedWriteBehindQueue(WriteBehindQueue q) {
+    this.queue = q;
+    this.mutex = this;
+  }
+
+  void addFirst(Entry e) {
+    synchronized (this.mutex) { this.queue.addFirst(e); }
+  }
+
+  void addLast(Entry e) {
+    synchronized (this.mutex) { this.queue.addLast(e); }
+  }
+
+  void removeFirst() {
+    synchronized (this.mutex) { this.queue.removeFirst(); }
+  }
+
+  Entry get(int index) {
+    synchronized (this.mutex) { return this.queue.get(index); }
+  }
+
+  Entry first() {
+    synchronized (this.mutex) { return this.queue.first(); }
+  }
+
+  int size() {
+    synchronized (this.mutex) { return this.queue.size(); }
+  }
+
+  void clear() {
+    synchronized (this.mutex) { this.queue.clear(); }
+  }
+
+  bool contains(int key) {
+    synchronized (this.mutex) { return this.queue.contains(key); }
+  }
+
+  int drainTo(WriteBehindQueue other) {
+    synchronized (this.mutex) { return this.queue.drainTo(other); }
+  }
+}
+
+// Static factory methods (hazelcast's WriteBehindQueues).
+class WriteBehindQueues {
+  static WriteBehindQueue createSafeWriteBehindQueue(WriteBehindQueue q) {
+    return new SynchronizedWriteBehindQueue(q);
+  }
+  static WriteBehindQueue createCoalescedWriteBehindQueue() {
+    return new CoalescedWriteBehindQueue();
+  }
+}
+
+// Sequential seed test: every public method invoked once (§5).
+class Seed {
+  static void main() {
+    WriteBehindQueue cwbq = WriteBehindQueues.createCoalescedWriteBehindQueue();
+    WriteBehindQueue swbq = WriteBehindQueues.createSafeWriteBehindQueue(cwbq);
+    Entry e1 = new Entry(1, 10);
+    Entry e2 = new Entry(2, 20);
+    swbq.addLast(e1);
+    swbq.addFirst(e2);
+    Entry f = swbq.first();
+    Entry g = swbq.get(1);
+    int n = swbq.size();
+    bool c = swbq.contains(1);
+    swbq.removeFirst();
+    WriteBehindQueue sink = WriteBehindQueues.createCoalescedWriteBehindQueue();
+    int moved = swbq.drainTo(sink);
+    swbq.clear();
+    Sys.print(n + moved);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C1";
+    e_name = "SynchronizedWriteBehindQueue";
+    e_benchmark = "hazelcast";
+    e_version = "3.3.2";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 14;
+        pr_loc = 104;
+        pr_pairs = 65;
+        pr_tests = 15;
+        pr_seconds = 12.2;
+        pr_races = 76;
+        pr_harmful = 58;
+        pr_benign = 2;
+      };
+  }

@@ -1,0 +1,264 @@
+(* C2 — openjdk 1.7, java.util.Collections$SynchronizedCollection.
+
+   The wrapper synchronizes every operation on a mutex field initialized
+   to [this].  Two wrappers around one backing collection therefore lock
+   different monitors while mutating shared state — the same bug shape
+   the paper exploits (the JDK documents that the backing collection
+   must not be reachable otherwise; real applications violate this). *)
+
+let source =
+  {|
+class Entry {
+  int key;
+  int value;
+  Entry(int k, int v) {
+    this.key = k;
+    this.value = v;
+  }
+  int getKey() { return this.key; }
+}
+
+interface Collection {
+  bool add(Entry e);
+  bool remove(int key);
+  bool contains(int key);
+  int indexOf(int key);
+  Entry get(int index);
+  Entry set(int index, Entry e);
+  int size();
+  bool isEmpty();
+  void clear();
+  Entry first();
+  Entry last();
+  int sumKeys();
+  bool addAll(Collection other);
+  bool removeAll(Collection other);
+  bool retainAll(Collection other);
+  void copyInto(Entry[] out);
+}
+
+// Unsynchronized array-backed collection (the ArrayList stand-in).
+class ArrayCollection implements Collection {
+  Entry[] data;
+  int count;
+  int modCount;
+
+  ArrayCollection() {
+    this.data = new Entry[8];
+    this.count = 0;
+    this.modCount = 0;
+  }
+
+  void ensureCapacity(int n) {
+    if (n > this.data.length) {
+      Entry[] bigger = new Entry[n * 2];
+      Sys.arraycopy(this.data, 0, bigger, 0, this.count);
+      this.data = bigger;
+    }
+  }
+
+  bool add(Entry e) {
+    this.ensureCapacity(this.count + 1);
+    this.data[this.count] = e;
+    this.count = this.count + 1;
+    this.modCount = this.modCount + 1;
+    return true;
+  }
+
+  int indexOf(int key) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.data[i].getKey() == key) { return i; }
+      i = i + 1;
+    }
+    return -1;
+  }
+
+  bool remove(int key) {
+    int at = this.indexOf(key);
+    if (at < 0) { return false; }
+    int i = at + 1;
+    while (i < this.count) {
+      this.data[i - 1] = this.data[i];
+      i = i + 1;
+    }
+    this.count = this.count - 1;
+    this.data[this.count] = null;
+    this.modCount = this.modCount + 1;
+    return true;
+  }
+
+  bool contains(int key) { return this.indexOf(key) >= 0; }
+
+  Entry get(int index) {
+    if (index < 0 || index >= this.count) { throw "index out of bounds"; }
+    return this.data[index];
+  }
+
+  Entry set(int index, Entry e) {
+    Entry old = this.get(index);
+    this.data[index] = e;
+    return old;
+  }
+
+  int size() { return this.count; }
+  bool isEmpty() { return this.count == 0; }
+
+  void clear() {
+    int i = 0;
+    while (i < this.count) {
+      this.data[i] = null;
+      i = i + 1;
+    }
+    this.count = 0;
+    this.modCount = this.modCount + 1;
+  }
+
+  Entry first() {
+    if (this.count == 0) { return null; }
+    return this.data[0];
+  }
+
+  Entry last() {
+    if (this.count == 0) { return null; }
+    return this.data[this.count - 1];
+  }
+
+  int sumKeys() {
+    int s = 0;
+    int i = 0;
+    while (i < this.count) {
+      s = s + this.data[i].getKey();
+      i = i + 1;
+    }
+    return s;
+  }
+
+  bool addAll(Collection other) {
+    int n = other.size();
+    int i = 0;
+    while (i < n) {
+      this.add(other.get(i));
+      i = i + 1;
+    }
+    return n > 0;
+  }
+
+  bool removeAll(Collection other) {
+    int n = other.size();
+    bool changed = false;
+    int i = 0;
+    while (i < n) {
+      Entry e = other.get(i);
+      if (this.remove(e.getKey())) { changed = true; }
+      i = i + 1;
+    }
+    return changed;
+  }
+
+  bool retainAll(Collection other) {
+    bool changed = false;
+    int i = this.count - 1;
+    while (i >= 0) {
+      Entry e = this.data[i];
+      if (!other.contains(e.getKey())) {
+        this.remove(e.getKey());
+        changed = true;
+      }
+      i = i - 1;
+    }
+    return changed;
+  }
+
+  void copyInto(Entry[] out) {
+    Sys.arraycopy(this.data, 0, out, 0, Sys.min(this.count, out.length));
+  }
+}
+
+// The JDK wrapper: every operation under synchronized(mutex), where
+// mutex == this.
+class SynchronizedCollection implements Collection {
+  Collection c;
+  SynchronizedCollection mutex;
+
+  SynchronizedCollection(Collection backing) {
+    this.c = backing;
+    this.mutex = this;
+  }
+
+  bool add(Entry e) { synchronized (this.mutex) { return this.c.add(e); } }
+  bool remove(int key) { synchronized (this.mutex) { return this.c.remove(key); } }
+  bool contains(int key) { synchronized (this.mutex) { return this.c.contains(key); } }
+  int indexOf(int key) { synchronized (this.mutex) { return this.c.indexOf(key); } }
+  Entry get(int index) { synchronized (this.mutex) { return this.c.get(index); } }
+  Entry set(int index, Entry e) { synchronized (this.mutex) { return this.c.set(index, e); } }
+  int size() { synchronized (this.mutex) { return this.c.size(); } }
+  bool isEmpty() { synchronized (this.mutex) { return this.c.isEmpty(); } }
+  void clear() { synchronized (this.mutex) { this.c.clear(); } }
+  Entry first() { synchronized (this.mutex) { return this.c.first(); } }
+  Entry last() { synchronized (this.mutex) { return this.c.last(); } }
+  int sumKeys() { synchronized (this.mutex) { return this.c.sumKeys(); } }
+  bool addAll(Collection other) { synchronized (this.mutex) { return this.c.addAll(other); } }
+  bool removeAll(Collection other) { synchronized (this.mutex) { return this.c.removeAll(other); } }
+  bool retainAll(Collection other) { synchronized (this.mutex) { return this.c.retainAll(other); } }
+  void copyInto(Entry[] out) { synchronized (this.mutex) { this.c.copyInto(out); } }
+}
+
+class Collections {
+  static Collection synchronizedCollection(Collection c) {
+    return new SynchronizedCollection(c);
+  }
+}
+
+class Seed {
+  static void main() {
+    Collection backing = new ArrayCollection();
+    Collection sc = Collections.synchronizedCollection(backing);
+    Entry e1 = new Entry(1, 10);
+    Entry e2 = new Entry(2, 20);
+    sc.add(e1);
+    sc.add(e2);
+    bool has = sc.contains(1);
+    int at = sc.indexOf(2);
+    Entry g = sc.get(0);
+    Entry old = sc.set(0, e2);
+    int n = sc.size();
+    bool emp = sc.isEmpty();
+    Entry f = sc.first();
+    Entry l = sc.last();
+    int s = sc.sumKeys();
+    Collection other = new ArrayCollection();
+    other.add(new Entry(3, 30));
+    sc.addAll(other);
+    sc.removeAll(other);
+    sc.retainAll(other);
+    Entry[] out = new Entry[4];
+    sc.copyInto(out);
+    sc.remove(1);
+    sc.clear();
+    Sys.print(n + s);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C2";
+    e_name = "SynchronizedCollection";
+    e_benchmark = "openjdk";
+    e_version = "1.7";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 19;
+        pr_loc = 85;
+        pr_pairs = 131;
+        pr_tests = 40;
+        pr_seconds = 13.5;
+        pr_races = 84;
+        pr_harmful = 65;
+        pr_benign = 1;
+      };
+  }

@@ -1,0 +1,126 @@
+(* C3 — openjdk 1.7, java.io.CharArrayWriter.
+
+   Most operations synchronize on the writer, but — as in the real JDK —
+   [size] and [reset] touch [count] without any lock, and
+   [append(CharSequence)] reads the source sequence while holding only
+   the destination's lock.  Characters are modelled as ints. *)
+
+let source =
+  {|
+class CharArrayWriter {
+  int[] buf;
+  int count;
+
+  CharArrayWriter() {
+    this.buf = new int[32];
+    this.count = 0;
+  }
+
+  CharArrayWriter(int initialSize) {
+    if (initialSize < 0) { throw "negative initial size"; }
+    this.buf = new int[initialSize];
+    this.count = 0;
+  }
+
+  synchronized void ensureCapacity(int n) {
+    if (n > this.buf.length) {
+      int[] bigger = new int[Sys.max(this.buf.length * 2, n)];
+      Sys.arraycopy(this.buf, 0, bigger, 0, this.count);
+      this.buf = bigger;
+    }
+  }
+
+  synchronized void write(int c) {
+    this.ensureCapacity(this.count + 1);
+    this.buf[this.count] = c;
+    this.count = this.count + 1;
+  }
+
+  synchronized void writeChars(int[] cs, int off, int len) {
+    if (off < 0 || len < 0 || off + len > cs.length) { throw "index out of range"; }
+    this.ensureCapacity(this.count + len);
+    Sys.arraycopy(cs, off, this.buf, this.count, len);
+    this.count = this.count + len;
+  }
+
+  // Writes this buffer's contents into another writer.  Locks this,
+  // then out.writeChars locks out — no common lock with out's own
+  // unsynchronized paths.
+  synchronized void writeTo(CharArrayWriter out) {
+    out.writeChars(this.buf, 0, this.count);
+  }
+
+  // JDK: CharArrayWriter.append(CharSequence) reads the sequence while
+  // holding only this writer's lock.
+  synchronized void append(CharArrayWriter csq) {
+    int n = csq.count;
+    int i = 0;
+    while (i < n) {
+      this.write(csq.buf[i]);
+      i = i + 1;
+    }
+  }
+
+  synchronized void appendChar(int c) { this.write(c); }
+
+  // NOT synchronized in the JDK.
+  int size() { return this.count; }
+
+  // NOT synchronized in the JDK.
+  void reset() { this.count = 0; }
+
+  synchronized int[] toCharArray() {
+    int[] out = new int[this.count];
+    Sys.arraycopy(this.buf, 0, out, 0, this.count);
+    return out;
+  }
+
+  void flush() { }
+
+  void close() { }
+}
+
+class Seed {
+  static void main() {
+    CharArrayWriter w = new CharArrayWriter();
+    CharArrayWriter v = new CharArrayWriter(16);
+    w.write(65);
+    w.appendChar(66);
+    int[] chunk = new int[4];
+    chunk[0] = 67;
+    chunk[1] = 68;
+    w.writeChars(chunk, 0, 2);
+    w.ensureCapacity(64);
+    w.writeTo(v);
+    v.append(w);
+    int n = w.size();
+    int[] copy = w.toCharArray();
+    w.flush();
+    w.close();
+    w.reset();
+    Sys.print(n + copy.length);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C3";
+    e_name = "CharArrayWriter";
+    e_benchmark = "openjdk";
+    e_version = "1.7";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 13;
+        pr_loc = 92;
+        pr_pairs = 13;
+        pr_tests = 9;
+        pr_seconds = 2.2;
+        pr_races = 8;
+        pr_harmful = 7;
+        pr_benign = 1;
+      };
+  }

@@ -1,0 +1,259 @@
+(* C4 — colt 1.2.0, hep.aida.bin.DynamicBin1D.
+
+   A "thread-safe" statistics bin: every method on the receiver is
+   synchronized, but cross-bin operations ([addAllOf], [removeAllOf],
+   [sampleBootstrap]) read the *other* bin's state holding only the
+   receiver's lock — colt's documented concurrency hazard.
+
+   The internal sample buffer is allocated privately and never
+   assignable from client parameters, so most racy pairs on it admit no
+   context (the paper synthesizes 11 tests for 26 pairs but only 4 races
+   manifest; most C4 tests expose nothing — Fig. 14's zero-race bars). *)
+
+let source =
+  {|
+class DynamicBin1D {
+  int[] elements;
+  int size;
+  int minimum;
+  int maximum;
+  int sum;
+  int sumOfSquares;
+  bool isSorted;
+  bool validAll;
+
+  DynamicBin1D() {
+    this.elements = new int[16];
+    this.size = 0;
+    this.minimum = 1000000;
+    this.maximum = 0 - 1000000;
+    this.sum = 0;
+    this.sumOfSquares = 0;
+    this.isSorted = true;
+    this.validAll = true;
+  }
+
+  synchronized void ensureCapacity(int n) {
+    if (n > this.elements.length) {
+      int[] bigger = new int[Sys.max(this.elements.length * 2, n)];
+      Sys.arraycopy(this.elements, 0, bigger, 0, this.size);
+      this.elements = bigger;
+    }
+  }
+
+  synchronized void add(int x) {
+    this.ensureCapacity(this.size + 1);
+    this.elements[this.size] = x;
+    this.size = this.size + 1;
+    this.sum = this.sum + x;
+    this.sumOfSquares = this.sumOfSquares + x * x;
+    this.minimum = Sys.min(this.minimum, x);
+    this.maximum = Sys.max(this.maximum, x);
+    this.isSorted = false;
+  }
+
+  // Reads other's buffer while holding only this bin's lock.
+  synchronized void addAllOf(DynamicBin1D other) {
+    int n = other.size;
+    int i = 0;
+    while (i < n) {
+      this.add(other.elements[i]);
+      i = i + 1;
+    }
+  }
+
+  synchronized bool removeAllOf(DynamicBin1D other) {
+    int n = other.size;
+    bool changed = false;
+    int i = 0;
+    while (i < n) {
+      if (this.removeValue(other.elements[i])) { changed = true; }
+      i = i + 1;
+    }
+    return changed;
+  }
+
+  synchronized bool removeValue(int x) {
+    int i = 0;
+    while (i < this.size) {
+      if (this.elements[i] == x) {
+        int j = i + 1;
+        while (j < this.size) {
+          this.elements[j - 1] = this.elements[j];
+          j = j + 1;
+        }
+        this.size = this.size - 1;
+        this.sum = this.sum - x;
+        this.sumOfSquares = this.sumOfSquares - x * x;
+        this.validAll = false;
+        return true;
+      }
+      i = i + 1;
+    }
+    return false;
+  }
+
+  // Draws pseudo-random samples from another bin, reading its state
+  // without holding its lock.
+  synchronized void sampleBootstrap(DynamicBin1D other, int n) {
+    int i = 0;
+    while (i < n) {
+      int limit = Sys.max(other.size, 1);
+      int at = Sys.randInt(limit);
+      if (at < other.size) { this.add(other.elements[at]); }
+      i = i + 1;
+    }
+  }
+
+  synchronized void sort() {
+    if (!this.isSorted) {
+      int i = 1;
+      while (i < this.size) {
+        int x = this.elements[i];
+        int j = i - 1;
+        bool moving = true;
+        while (moving) {
+          if (j >= 0 && this.elements[j] > x) {
+            this.elements[j + 1] = this.elements[j];
+            j = j - 1;
+          } else {
+            moving = false;
+          }
+        }
+        this.elements[j + 1] = x;
+        i = i + 1;
+      }
+      this.isSorted = true;
+    }
+  }
+
+  synchronized int getSize() { return this.size; }
+  synchronized int min() { return this.minimum; }
+  synchronized int max() { return this.maximum; }
+  synchronized int getSum() { return this.sum; }
+  synchronized int getSumOfSquares() { return this.sumOfSquares; }
+
+  synchronized int mean() {
+    if (this.size == 0) { return 0; }
+    return this.sum / this.size;
+  }
+
+  synchronized int variance() {
+    if (this.size == 0) { return 0; }
+    int m = this.mean();
+    return this.sumOfSquares / this.size - m * m;
+  }
+
+  synchronized int moment(int k) {
+    int acc = 0;
+    int i = 0;
+    while (i < this.size) {
+      int x = this.elements[i];
+      int p = 1;
+      int j = 0;
+      while (j < k) {
+        p = p * x;
+        j = j + 1;
+      }
+      acc = acc + p;
+      i = i + 1;
+    }
+    if (this.size == 0) { return 0; }
+    return acc / this.size;
+  }
+
+  synchronized int quantile(int percent) {
+    this.sort();
+    if (this.size == 0) { return 0; }
+    int at = percent * (this.size - 1) / 100;
+    return this.elements[at];
+  }
+
+  synchronized int median() { return this.quantile(50); }
+
+  synchronized void trimToSize() {
+    int[] exact = new int[Sys.max(this.size, 1)];
+    Sys.arraycopy(this.elements, 0, exact, 0, this.size);
+    this.elements = exact;
+  }
+
+  synchronized void clear() {
+    this.size = 0;
+    this.sum = 0;
+    this.sumOfSquares = 0;
+    this.minimum = 1000000;
+    this.maximum = 0 - 1000000;
+    this.isSorted = true;
+    this.validAll = true;
+  }
+
+  synchronized bool contains(int x) {
+    int i = 0;
+    while (i < this.size) {
+      if (this.elements[i] == x) { return true; }
+      i = i + 1;
+    }
+    return false;
+  }
+
+  synchronized DynamicBin1D copy() {
+    DynamicBin1D out = new DynamicBin1D();
+    out.addAllOf(this);
+    return out;
+  }
+}
+
+class Seed {
+  static void main() {
+    DynamicBin1D bin = new DynamicBin1D();
+    bin.add(5);
+    bin.add(3);
+    bin.add(9);
+    DynamicBin1D other = new DynamicBin1D();
+    other.add(7);
+    bin.addAllOf(other);
+    bin.sampleBootstrap(other, 2);
+    bin.removeAllOf(other);
+    bin.removeValue(3);
+    bin.ensureCapacity(32);
+    bin.sort();
+    int n = bin.getSize();
+    int mn = bin.min();
+    int mx = bin.max();
+    int s = bin.getSum();
+    int sq = bin.getSumOfSquares();
+    int m = bin.mean();
+    int v = bin.variance();
+    int mo = bin.moment(2);
+    int q = bin.quantile(75);
+    int md = bin.median();
+    bool has = bin.contains(5);
+    DynamicBin1D c = bin.copy();
+    bin.trimToSize();
+    bin.clear();
+    Sys.print(n + s + m + v);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C4";
+    e_name = "DynamicBin1D";
+    e_benchmark = "colt";
+    e_version = "1.2.0";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 35;
+        pr_loc = 313;
+        pr_pairs = 26;
+        pr_tests = 11;
+        pr_seconds = 33.0;
+        pr_races = 4;
+        pr_harmful = 2;
+        pr_benign = 0;
+      };
+  }

@@ -1,0 +1,256 @@
+(* C5 — hsqldb 2.3.2, org.hsqldb.index.DoubleIntIndex.
+
+   A sorted two-column int index used inside the storage engine.  The
+   real class leaves synchronization to its callers: nothing here holds
+   a lock, so *every* access is unprotected and the pair count explodes
+   (136 pairs in the paper) while the owner paths are all the receiver
+   itself — the synthesized tests just share receivers. *)
+
+let source =
+  {|
+class DoubleIntIndex {
+  int[] keys;
+  int[] values;
+  int count;
+  int capacity;
+  bool sorted;
+  bool sortOnValues;
+
+  DoubleIntIndex(int capacity) {
+    this.keys = new int[capacity];
+    this.values = new int[capacity];
+    this.count = 0;
+    this.capacity = capacity;
+    this.sorted = true;
+    this.sortOnValues = false;
+  }
+
+  int size() { return this.count; }
+
+  void setSize(int n) { this.count = n; }
+
+  int capacityOf() { return this.capacity; }
+
+  void ensureCapacity(int n) {
+    if (n > this.capacity) {
+      int next = Sys.max(this.capacity * 2, n);
+      int[] nk = new int[next];
+      int[] nv = new int[next];
+      Sys.arraycopy(this.keys, 0, nk, 0, this.count);
+      Sys.arraycopy(this.values, 0, nv, 0, this.count);
+      this.keys = nk;
+      this.values = nv;
+      this.capacity = next;
+    }
+  }
+
+  bool addUnsorted(int key, int value) {
+    this.ensureCapacity(this.count + 1);
+    if (this.sorted && this.count > 0) {
+      if (key < this.keys[this.count - 1]) { this.sorted = false; }
+    }
+    this.keys[this.count] = key;
+    this.values[this.count] = value;
+    this.count = this.count + 1;
+    return true;
+  }
+
+  bool addSorted(int key, int value) {
+    if (this.count > 0 && key < this.keys[this.count - 1]) { return false; }
+    this.ensureCapacity(this.count + 1);
+    this.keys[this.count] = key;
+    this.values[this.count] = value;
+    this.count = this.count + 1;
+    return true;
+  }
+
+  int getKey(int i) {
+    if (i < 0 || i >= this.count) { throw "index out of range"; }
+    return this.keys[i];
+  }
+
+  int getValue(int i) {
+    if (i < 0 || i >= this.count) { throw "index out of range"; }
+    return this.values[i];
+  }
+
+  void setKey(int i, int key) {
+    if (i < 0 || i >= this.count) { throw "index out of range"; }
+    this.keys[i] = key;
+    this.sorted = false;
+  }
+
+  void setValue(int i, int value) {
+    if (i < 0 || i >= this.count) { throw "index out of range"; }
+    this.values[i] = value;
+  }
+
+  int findFirstEqualKeyIndex(int key) {
+    if (!this.sorted) { this.fastQuickSort(); }
+    int at = this.binarySlotSearch(key);
+    if (at < this.count && this.keys[at] == key) { return at; }
+    return -1;
+  }
+
+  int findFirstGreaterEqualKeyIndex(int key) {
+    if (!this.sorted) { this.fastQuickSort(); }
+    int at = this.binarySlotSearch(key);
+    if (at == this.count) { return -1; }
+    return at;
+  }
+
+  int binarySlotSearch(int key) {
+    int lo = 0;
+    int hi = this.count;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (this.keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  void swap(int a, int b) {
+    int tk = this.keys[a];
+    int tv = this.values[a];
+    this.keys[a] = this.keys[b];
+    this.values[a] = this.values[b];
+    this.keys[b] = tk;
+    this.values[b] = tv;
+  }
+
+  void fastQuickSort() {
+    int i = 1;
+    while (i < this.count) {
+      int j = i;
+      bool moving = true;
+      while (moving) {
+        if (j > 0 && this.keys[j - 1] > this.keys[j]) {
+          this.swap(j - 1, j);
+          j = j - 1;
+        } else {
+          moving = false;
+        }
+      }
+      i = i + 1;
+    }
+    this.sorted = true;
+  }
+
+  void sortOnValuesToggle(bool onValues) { this.sortOnValues = onValues; }
+
+  bool isSorted() { return this.sorted; }
+
+  void removeEntry(int i) {
+    if (i < 0 || i >= this.count) { throw "index out of range"; }
+    int j = i + 1;
+    while (j < this.count) {
+      this.keys[j - 1] = this.keys[j];
+      this.values[j - 1] = this.values[j];
+      j = j + 1;
+    }
+    this.count = this.count - 1;
+  }
+
+  bool contains(int key) { return this.findFirstEqualKeyIndex(key) >= 0; }
+
+  int lookup(int key) {
+    int at = this.findFirstEqualKeyIndex(key);
+    if (at < 0) { throw "key not found"; }
+    return this.values[at];
+  }
+
+  int lookupOrDefault(int key, int dflt) {
+    int at = this.findFirstEqualKeyIndex(key);
+    if (at < 0) { return dflt; }
+    return this.values[at];
+  }
+
+  void clear() {
+    this.count = 0;
+    this.sorted = true;
+  }
+
+  int totalValues() {
+    int s = 0;
+    int i = 0;
+    while (i < this.count) {
+      s = s + this.values[i];
+      i = i + 1;
+    }
+    return s;
+  }
+
+  void copyTo(DoubleIntIndex other) {
+    int i = 0;
+    while (i < this.count) {
+      other.addUnsorted(this.keys[i], this.values[i]);
+      i = i + 1;
+    }
+  }
+
+  int removeAndReturnLastValue() {
+    if (this.count == 0) { throw "empty index"; }
+    this.count = this.count - 1;
+    return this.values[this.count];
+  }
+}
+
+class Seed {
+  static void main() {
+    DoubleIntIndex idx = new DoubleIntIndex(8);
+    idx.addUnsorted(5, 50);
+    idx.addUnsorted(3, 30);
+    idx.addSorted(9, 90);
+    int k = idx.getKey(0);
+    int v = idx.getValue(0);
+    idx.setKey(1, 4);
+    idx.setValue(1, 40);
+    int at = idx.findFirstEqualKeyIndex(4);
+    int ge = idx.findFirstGreaterEqualKeyIndex(5);
+    int slot = idx.binarySlotSearch(6);
+    idx.swap(0, 1);
+    idx.fastQuickSort();
+    idx.sortOnValuesToggle(false);
+    bool srt = idx.isSorted();
+    bool has = idx.contains(4);
+    int lv = idx.lookupOrDefault(4, 0);
+    int tv = idx.totalValues();
+    int n = idx.size();
+    int cap = idx.capacityOf();
+    idx.ensureCapacity(32);
+    DoubleIntIndex sink = new DoubleIntIndex(8);
+    idx.copyTo(sink);
+    int last = idx.removeAndReturnLastValue();
+    idx.removeEntry(0);
+    idx.setSize(1);
+    idx.clear();
+    Sys.print(n + tv + last);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C5";
+    e_name = "DoubleIntIndex";
+    e_benchmark = "hsqldb";
+    e_version = "2.3.2";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 32;
+        pr_loc = 508;
+        pr_pairs = 136;
+        pr_tests = 8;
+        pr_seconds = 7.4;
+        pr_races = 36;
+        pr_harmful = 30;
+        pr_benign = 6;
+      };
+  }

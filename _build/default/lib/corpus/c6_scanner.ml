@@ -1,0 +1,236 @@
+(* C6 — hsqldb 2.3.2, org.hsqldb.Scanner.
+
+   The SQL tokenizer: a large unsynchronized class whose [reset] method
+   writes constants into many fields.  Concurrent reset/scan races are
+   real but mostly *benign* — resetting to the same constants in any
+   order yields the same state — which is exactly the paper's
+   observation (62 of C6's 89 races are benign, all from reset). *)
+
+let source =
+  {|
+class Token {
+  int tokenType;
+  int tokenValue;
+  int position;
+  Token(int t, int v, int p) {
+    this.tokenType = t;
+    this.tokenValue = v;
+    this.position = p;
+  }
+}
+
+class Scanner {
+  str sqlString;
+  int currentPosition;
+  int tokenPosition;
+  int limit;
+  int tokenType;
+  int tokenValue;
+  int lineNumber;
+  bool hasNonSpace;
+  bool wasLast;
+  Token lastToken;
+
+  Scanner() {
+    this.sqlString = "";
+    this.currentPosition = 0;
+    this.tokenPosition = 0;
+    this.limit = 0;
+    this.tokenType = 0;
+    this.tokenValue = 0;
+    this.lineNumber = 1;
+    this.hasNonSpace = false;
+    this.wasLast = false;
+    this.lastToken = null;
+  }
+
+  // Resets every scanning field to constants — the benign-race nest.
+  void reset(str sql) {
+    this.sqlString = sql;
+    this.currentPosition = 0;
+    this.tokenPosition = 0;
+    this.limit = Sys.strlen(sql);
+    this.tokenType = 0;
+    this.tokenValue = 0;
+    this.lineNumber = 1;
+    this.hasNonSpace = false;
+    this.wasLast = false;
+    this.lastToken = null;
+  }
+
+  int charAt(int i) { return Sys.charAt(this.sqlString, i); }
+
+  int currentChar() { return this.charAt(this.currentPosition); }
+
+  bool hasMore() { return this.currentPosition < this.limit; }
+
+  int position() { return this.currentPosition; }
+
+  void setPosition(int p) { this.currentPosition = p; }
+
+  int getTokenType() { return this.tokenType; }
+
+  int getTokenValue() { return this.tokenValue; }
+
+  int getLineNumber() { return this.lineNumber; }
+
+  int getTokenPosition() { return this.tokenPosition; }
+
+  bool isDigit(int c) { return c >= 48 && c <= 57; }
+
+  bool isLetter(int c) {
+    if (c >= 65 && c <= 90) { return true; }
+    return c >= 97 && c <= 122;
+  }
+
+  bool isSpace(int c) {
+    if (c == 32) { return true; }
+    return c == 9 || c == 10 || c == 13;
+  }
+
+  void skipBlanks() {
+    bool going = true;
+    while (going) {
+      int c = this.currentChar();
+      if (c == 10) { this.lineNumber = this.lineNumber + 1; }
+      if (this.isSpace(c)) {
+        this.currentPosition = this.currentPosition + 1;
+      } else {
+        going = false;
+      }
+    }
+  }
+
+  void scanNumber() {
+    int acc = 0;
+    bool going = true;
+    while (going) {
+      int c = this.currentChar();
+      if (this.isDigit(c)) {
+        acc = acc * 10 + (c - 48);
+        this.currentPosition = this.currentPosition + 1;
+      } else {
+        going = false;
+      }
+    }
+    this.tokenType = 1;
+    this.tokenValue = acc;
+  }
+
+  void scanIdentifier() {
+    int h = 0;
+    bool going = true;
+    while (going) {
+      int c = this.currentChar();
+      if (this.isLetter(c) || this.isDigit(c)) {
+        h = h * 31 + c;
+        this.currentPosition = this.currentPosition + 1;
+      } else {
+        going = false;
+      }
+    }
+    this.tokenType = 2;
+    this.tokenValue = h;
+  }
+
+  void scanSpecial() {
+    this.tokenType = 3;
+    this.tokenValue = this.currentChar();
+    this.currentPosition = this.currentPosition + 1;
+  }
+
+  void scanNext() {
+    this.skipBlanks();
+    this.tokenPosition = this.currentPosition;
+    if (!this.hasMore()) {
+      this.tokenType = 0;
+      this.tokenValue = 0;
+      this.wasLast = true;
+      return;
+    }
+    this.hasNonSpace = true;
+    int c = this.currentChar();
+    if (this.isDigit(c)) {
+      this.scanNumber();
+    } else {
+      if (this.isLetter(c)) {
+        this.scanIdentifier();
+      } else {
+        this.scanSpecial();
+      }
+    }
+    this.lastToken = new Token(this.tokenType, this.tokenValue, this.tokenPosition);
+  }
+
+  Token getLastToken() { return this.lastToken; }
+
+  int countTokens() {
+    int n = 0;
+    while (!this.wasLast) {
+      this.scanNext();
+      if (!this.wasLast) { n = n + 1; }
+    }
+    return n;
+  }
+
+  bool wasLastToken() { return this.wasLast; }
+
+  void backUp() {
+    this.currentPosition = this.tokenPosition;
+  }
+
+  int remaining() { return this.limit - this.currentPosition; }
+}
+
+class Seed {
+  static void main() {
+    Scanner sc = new Scanner();
+    sc.reset("select 42 from t1");
+    sc.scanNext();
+    int tt = sc.getTokenType();
+    int tv = sc.getTokenValue();
+    int tp = sc.getTokenPosition();
+    int ln = sc.getLineNumber();
+    int p = sc.position();
+    bool more = sc.hasMore();
+    int rem = sc.remaining();
+    int c0 = sc.charAt(0);
+    int cc = sc.currentChar();
+    bool d = sc.isDigit(c0);
+    bool l = sc.isLetter(c0);
+    bool sp = sc.isSpace(c0);
+    sc.skipBlanks();
+    sc.scanNumber();
+    sc.scanIdentifier();
+    sc.setPosition(0);
+    sc.scanSpecial();
+    sc.backUp();
+    Token t = sc.getLastToken();
+    bool wl = sc.wasLastToken();
+    int n = sc.countTokens();
+    Sys.print(tt + tv + n);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C6";
+    e_name = "Scanner";
+    e_benchmark = "hsqldb";
+    e_version = "2.3.2";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 26;
+        pr_loc = 1802;
+        pr_pairs = 85;
+        pr_tests = 8;
+        pr_seconds = 121.7;
+        pr_races = 89;
+        pr_harmful = 15;
+        pr_benign = 62;
+      };
+  }

@@ -1,0 +1,141 @@
+(* C7 — hedc, PooledExecutorWithInvalidate.
+
+   The web-crawler's task pool: enqueue/dequeue are synchronized on the
+   pool, but [invalidateAll] walks the queue and flips each task's
+   [valid] flag without holding any lock on the tasks — while a worker
+   may be reading that flag.  A small class with a handful of real,
+   harmful races (4 in the paper, all reproduced). *)
+
+let source =
+  {|
+class Task {
+  int id;
+  bool valid;
+  int runCount;
+
+  Task(int id) {
+    this.id = id;
+    this.valid = true;
+    this.runCount = 0;
+  }
+
+  void invalidate() { this.valid = false; }
+
+  bool isValid() { return this.valid; }
+
+  void run() {
+    if (this.valid) { this.runCount = this.runCount + 1; }
+  }
+}
+
+class PooledExecutorWithInvalidate {
+  Task[] queue;
+  int head;
+  int tail;
+  int count;
+  bool shutdown;
+
+  PooledExecutorWithInvalidate(int capacity) {
+    this.queue = new Task[capacity];
+    this.head = 0;
+    this.tail = 0;
+    this.count = 0;
+    this.shutdown = false;
+  }
+
+  synchronized bool execute(Task t) {
+    if (this.shutdown) { return false; }
+    if (this.count == this.queue.length) { return false; }
+    this.queue[this.tail] = t;
+    this.tail = (this.tail + 1) % this.queue.length;
+    this.count = this.count + 1;
+    return true;
+  }
+
+  synchronized Task take() {
+    if (this.count == 0) { return null; }
+    Task t = this.queue[this.head];
+    this.queue[this.head] = null;
+    this.head = (this.head + 1) % this.queue.length;
+    this.count = this.count - 1;
+    return t;
+  }
+
+  // Flips task flags without holding any lock on the tasks (and reads
+  // the queue slots outside the pool lock): hedc's invalidation bug.
+  void invalidateAll() {
+    int i = 0;
+    while (i < this.queue.length) {
+      Task t = this.queue[i];
+      if (t != null) { t.invalidate(); }
+      i = i + 1;
+    }
+  }
+
+  synchronized int size() { return this.count; }
+
+  bool isShutdown() { return this.shutdown; }
+
+  void shutdownNow() {
+    this.shutdown = true;
+    this.invalidateAll();
+  }
+
+  synchronized Task peek() {
+    if (this.count == 0) { return null; }
+    return this.queue[this.head];
+  }
+
+  synchronized int drainAndRun() {
+    int ran = 0;
+    while (this.count > 0) {
+      Task t = this.take();
+      if (t.isValid()) {
+        t.run();
+        ran = ran + 1;
+      }
+    }
+    return ran;
+  }
+}
+
+class Seed {
+  static void main() {
+    PooledExecutorWithInvalidate pool = new PooledExecutorWithInvalidate(8);
+    Task t1 = new Task(1);
+    Task t2 = new Task(2);
+    pool.execute(t1);
+    pool.execute(t2);
+    Task first = pool.peek();
+    int n = pool.size();
+    Task got = pool.take();
+    pool.invalidateAll();
+    int ran = pool.drainAndRun();
+    bool sd = pool.isShutdown();
+    pool.shutdownNow();
+    Sys.print(n + ran);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C7";
+    e_name = "PooledExecutorWithInvalidate";
+    e_benchmark = "hedc";
+    e_version = "NA";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 9;
+        pr_loc = 191;
+        pr_pairs = 4;
+        pr_tests = 4;
+        pr_seconds = 3.6;
+        pr_races = 4;
+        pr_harmful = 4;
+        pr_benign = 0;
+      };
+  }

@@ -1,0 +1,126 @@
+(* C8 — h2 1.4.182, org.h2.schema.Sequence.
+
+   Database sequences: [getNext] is synchronized, but [flush]-related
+   paths and the current-value getters touch [value]/[valueWithMargin]
+   without the lock — h2's known sequence race. *)
+
+let source =
+  {|
+class Sequence {
+  int value;
+  int valueWithMargin;
+  int increment;
+  int cacheSize;
+  bool belongsToTable;
+  str name;
+
+  Sequence(str name, int startValue, int increment) {
+    if (increment == 0) { throw "increment must not be zero"; }
+    this.name = name;
+    this.value = startValue;
+    this.valueWithMargin = startValue;
+    this.increment = increment;
+    this.cacheSize = 32;
+    this.belongsToTable = false;
+  }
+
+  synchronized int getNext() {
+    if ((this.increment > 0 && this.value >= this.valueWithMargin)
+        || (this.increment < 0 && this.value <= this.valueWithMargin)) {
+      this.valueWithMargin =
+          this.valueWithMargin + this.increment * this.cacheSize;
+    }
+    int v = this.value;
+    this.value = this.value + this.increment;
+    return v;
+  }
+
+  // h2: flush writes the persisted margin without synchronization.
+  void flush() {
+    this.valueWithMargin = this.value + this.increment * this.cacheSize;
+  }
+
+  void flushWithoutMargin() {
+    this.valueWithMargin = this.value;
+  }
+
+  // Unsynchronized read of hot state.
+  int getCurrentValue() { return this.value - this.increment; }
+
+  synchronized void setStartValue(int v) {
+    this.value = v;
+    this.valueWithMargin = v;
+  }
+
+  int getIncrement() { return this.increment; }
+
+  synchronized void setIncrement(int inc) {
+    if (inc == 0) { throw "increment must not be zero"; }
+    this.increment = inc;
+  }
+
+  int getCacheSize() { return this.cacheSize; }
+
+  synchronized void setCacheSize(int n) {
+    this.cacheSize = Sys.max(1, n);
+  }
+
+  bool getBelongsToTable() { return this.belongsToTable; }
+
+  void setBelongsToTable(bool b) { this.belongsToTable = b; }
+
+  str getName() { return this.name; }
+
+  synchronized int modificationId() {
+    return this.value + this.valueWithMargin;
+  }
+
+  synchronized void close() {
+    this.valueWithMargin = this.value;
+  }
+}
+
+class Seed {
+  static void main() {
+    Sequence seq = new Sequence("SEQ1", 100, 1);
+    int a = seq.getNext();
+    int b = seq.getNext();
+    int cur = seq.getCurrentValue();
+    seq.flush();
+    seq.flushWithoutMargin();
+    seq.setStartValue(500);
+    int inc = seq.getIncrement();
+    seq.setIncrement(2);
+    int cs = seq.getCacheSize();
+    seq.setCacheSize(16);
+    bool bt = seq.getBelongsToTable();
+    seq.setBelongsToTable(true);
+    str nm = seq.getName();
+    int mid = seq.modificationId();
+    seq.close();
+    Sys.print(a + b + cur);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C8";
+    e_name = "Sequence";
+    e_benchmark = "h2";
+    e_version = "1.4.182";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 18;
+        pr_loc = 233;
+        pr_pairs = 4;
+        pr_tests = 4;
+        pr_seconds = 5.8;
+        pr_races = 4;
+        pr_harmful = 4;
+        pr_benign = 0;
+      };
+  }

@@ -1,0 +1,117 @@
+(* C9 — GNU Classpath 0.99, java.io.CharArrayReader.
+
+   Read operations synchronize on the lock object, but [ready] (and the
+   close check it implies) reads the cursor state without the lock —
+   the two races the paper reports. *)
+
+let source =
+  {|
+class CharArrayReader {
+  int[] buf;
+  int pos;
+  int markedPos;
+  int count;
+
+  CharArrayReader(int[] buffer) {
+    this.buf = buffer;
+    this.pos = 0;
+    this.markedPos = 0;
+    this.count = buffer.length;
+  }
+
+  CharArrayReader(int[] buffer, int offset, int length) {
+    if (offset < 0 || length < 0 || offset > buffer.length) {
+      throw "illegal offset or length";
+    }
+    this.buf = buffer;
+    this.pos = offset;
+    this.markedPos = offset;
+    this.count = Sys.min(offset + length, buffer.length);
+  }
+
+  synchronized int read() {
+    if (this.pos >= this.count) { return 0 - 1; }
+    int c = this.buf[this.pos];
+    this.pos = this.pos + 1;
+    return c;
+  }
+
+  synchronized int readChars(int[] out, int off, int len) {
+    if (this.pos >= this.count) { return 0 - 1; }
+    int n = Sys.min(len, this.count - this.pos);
+    Sys.arraycopy(this.buf, this.pos, out, off, n);
+    this.pos = this.pos + n;
+    return n;
+  }
+
+  synchronized int skip(int n) {
+    int able = Sys.min(n, this.count - this.pos);
+    if (able < 0) { able = 0; }
+    this.pos = this.pos + able;
+    return able;
+  }
+
+  // Classpath: ready() examines the cursor without holding the lock.
+  bool ready() {
+    if (this.buf == null) { throw "stream closed"; }
+    return this.pos < this.count;
+  }
+
+  synchronized void mark(int readAheadLimit) {
+    this.markedPos = this.pos;
+  }
+
+  synchronized void reset() {
+    this.pos = this.markedPos;
+  }
+
+  void close() {
+    this.buf = null;
+  }
+}
+
+class Seed {
+  static void main() {
+    int[] data = new int[6];
+    data[0] = 104;
+    data[1] = 101;
+    data[2] = 108;
+    data[3] = 108;
+    data[4] = 111;
+    data[5] = 33;
+    CharArrayReader r = new CharArrayReader(data);
+    CharArrayReader r2 = new CharArrayReader(data, 1, 4);
+    int c = r.read();
+    int[] out = new int[4];
+    int n = r.readChars(out, 0, 3);
+    int sk = r.skip(1);
+    bool rd = r.ready();
+    r.mark(0);
+    r.reset();
+    r.close();
+    Sys.print(c + n + sk);
+  }
+}
+|}
+
+let entry : Corpus_def.entry =
+  {
+    Corpus_def.e_id = "C9";
+    e_name = "CharArrayReader";
+    e_benchmark = "classpath";
+    e_version = "0.99";
+    e_source = source;
+    e_seed_cls = "Seed";
+    e_seed_meth = "main";
+    e_paper =
+      {
+        Corpus_def.pr_methods = 8;
+        pr_loc = 102;
+        pr_pairs = 2;
+        pr_tests = 2;
+        pr_seconds = 1.9;
+        pr_races = 2;
+        pr_harmful = 2;
+        pr_benign = 0;
+      };
+  }

@@ -1,0 +1,44 @@
+(* Corpus plumbing: what a benchmark entry is and how per-class
+   statistics (Table 3/4 columns) are computed from it. *)
+
+type paper_row = {
+  (* Table 4 *)
+  pr_methods : int;
+  pr_loc : int;
+  pr_pairs : int;
+  pr_tests : int;
+  pr_seconds : float;
+  (* Table 5 *)
+  pr_races : int;
+  pr_harmful : int;
+  pr_benign : int;
+}
+
+type entry = {
+  e_id : string; (* "C1" .. "C9" *)
+  e_name : string; (* class under test, e.g. "SynchronizedWriteBehindQueue" *)
+  e_benchmark : string; (* originating project, e.g. "hazelcast" *)
+  e_version : string;
+  e_source : string; (* full Jir source: library classes + Seed *)
+  e_seed_cls : string; (* client class *)
+  e_seed_meth : string;
+  e_paper : paper_row; (* the numbers reported in the paper *)
+}
+
+(* Number of concrete methods of the class under test (constructors
+   included, like the paper counts them). *)
+let method_count (prog : Jir.Program.t) (e : entry) : int =
+  match Jir.Program.find_class prog e.e_name with
+  | None -> 0
+  | Some c ->
+    List.length
+      (List.filter (fun (m : Jir.Ast.method_decl) -> not m.Jir.Ast.m_abstract) c.Jir.Ast.c_methods)
+
+(* Lines of code of the class under test, measured on its pretty-printed
+   form (comment- and blank-free by construction). *)
+let loc_count (prog : Jir.Program.t) (e : entry) : int =
+  match Jir.Program.find_class prog e.e_name with
+  | None -> 0
+  | Some c ->
+    let s = Jir.Pretty.class_to_string c in
+    List.length (String.split_on_char '\n' s)

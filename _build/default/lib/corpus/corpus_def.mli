@@ -1,0 +1,33 @@
+(** Corpus plumbing: what a benchmark entry is (a Jir re-implementation
+    of one of the paper's nine classes, plus its seed test and the
+    paper's reported numbers) and how per-class statistics are
+    computed. *)
+
+(** The numbers the paper reports for a class (Tables 4 and 5). *)
+type paper_row = {
+  pr_methods : int;
+  pr_loc : int;
+  pr_pairs : int;
+  pr_tests : int;
+  pr_seconds : float;
+  pr_races : int;
+  pr_harmful : int;
+  pr_benign : int;
+}
+
+type entry = {
+  e_id : string;  (** "C1" .. "C9" *)
+  e_name : string;  (** class under test *)
+  e_benchmark : string;  (** originating project *)
+  e_version : string;
+  e_source : string;  (** full Jir source: library classes + Seed *)
+  e_seed_cls : string;
+  e_seed_meth : string;
+  e_paper : paper_row;
+}
+
+val method_count : Jir.Program.t -> entry -> int
+(** Concrete methods of the class under test, constructors included. *)
+
+val loc_count : Jir.Program.t -> entry -> int
+(** Lines of the class under test, measured on its pretty-printed form. *)

@@ -1,0 +1,457 @@
+(* The paper's footnote 5: "We did not list eight other classes in
+   openjdk because the races were very similar to the races in
+   SynchronizedCollection."  Three representative members of that
+   family, usable through the registry's [extras] (ids X1-X3): the
+   List, Set and Map wrappers, all with the same mutex-is-this shape. *)
+
+let zero_row : Corpus_def.paper_row =
+  {
+    Corpus_def.pr_methods = 0;
+    pr_loc = 0;
+    pr_pairs = 0;
+    pr_tests = 0;
+    pr_seconds = 0.0;
+    pr_races = 0;
+    pr_harmful = 0;
+    pr_benign = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* X1: Collections$SynchronizedList                                    *)
+(* ------------------------------------------------------------------ *)
+
+let synchronized_list =
+  {|
+interface JList {
+  void add(int x);
+  int get(int index);
+  void set(int index, int x);
+  bool removeAt(int index);
+  int size();
+  void clear();
+  int indexOf(int x);
+  void addAll(JList other);
+}
+
+class ArrayJList implements JList {
+  int[] data;
+  int count;
+
+  ArrayJList() {
+    this.data = new int[8];
+    this.count = 0;
+  }
+
+  void grow(int n) {
+    if (n > this.data.length) {
+      int[] bigger = new int[n * 2];
+      Sys.arraycopy(this.data, 0, bigger, 0, this.count);
+      this.data = bigger;
+    }
+  }
+
+  void add(int x) {
+    this.grow(this.count + 1);
+    this.data[this.count] = x;
+    this.count = this.count + 1;
+  }
+
+  int get(int index) {
+    if (index < 0 || index >= this.count) { throw "index out of bounds"; }
+    return this.data[index];
+  }
+
+  void set(int index, int x) {
+    if (index < 0 || index >= this.count) { throw "index out of bounds"; }
+    this.data[index] = x;
+  }
+
+  bool removeAt(int index) {
+    if (index < 0 || index >= this.count) { return false; }
+    int i = index + 1;
+    while (i < this.count) {
+      this.data[i - 1] = this.data[i];
+      i = i + 1;
+    }
+    this.count = this.count - 1;
+    return true;
+  }
+
+  int size() { return this.count; }
+
+  void clear() { this.count = 0; }
+
+  int indexOf(int x) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.data[i] == x) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+
+  void addAll(JList other) {
+    int n = other.size();
+    int i = 0;
+    while (i < n) {
+      this.add(other.get(i));
+      i = i + 1;
+    }
+  }
+}
+
+class SynchronizedList implements JList {
+  JList list;
+  SynchronizedList mutex;
+
+  SynchronizedList(JList backing) {
+    this.list = backing;
+    this.mutex = this;
+  }
+
+  void add(int x) { synchronized (this.mutex) { this.list.add(x); } }
+  int get(int index) { synchronized (this.mutex) { return this.list.get(index); } }
+  void set(int index, int x) { synchronized (this.mutex) { this.list.set(index, x); } }
+  bool removeAt(int index) { synchronized (this.mutex) { return this.list.removeAt(index); } }
+  int size() { synchronized (this.mutex) { return this.list.size(); } }
+  void clear() { synchronized (this.mutex) { this.list.clear(); } }
+  int indexOf(int x) { synchronized (this.mutex) { return this.list.indexOf(x); } }
+  void addAll(JList other) { synchronized (this.mutex) { this.list.addAll(other); } }
+}
+
+class Seed {
+  static void main() {
+    JList backing = new ArrayJList();
+    JList sl = new SynchronizedList(backing);
+    sl.add(1);
+    sl.add(2);
+    int g = sl.get(0);
+    sl.set(0, 9);
+    int at = sl.indexOf(2);
+    int n = sl.size();
+    JList other = new ArrayJList();
+    other.add(7);
+    sl.addAll(other);
+    sl.removeAt(0);
+    sl.clear();
+    Sys.print(g + n);
+  }
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* X2: Collections$SynchronizedSet                                     *)
+(* ------------------------------------------------------------------ *)
+
+let synchronized_set =
+  {|
+interface JSet {
+  bool add(int x);
+  bool contains(int x);
+  bool remove(int x);
+  int size();
+  void clear();
+  bool addAll(JSet other);
+  int sum();
+  int pick();
+}
+
+class HashJSet {
+  int[] slots;
+  bool[] used;
+  int count;
+
+  HashJSet() {
+    this.slots = new int[16];
+    this.used = new bool[16];
+    this.count = 0;
+  }
+
+  int slotOf(int x) {
+    int h = Sys.abs(x * 31) % this.slots.length;
+    int probes = 0;
+    while (probes < this.slots.length) {
+      if (!this.used[h] || this.slots[h] == x) { return h; }
+      h = (h + 1) % this.slots.length;
+      probes = probes + 1;
+    }
+    throw "set full";
+  }
+
+  bool add(int x) {
+    int h = this.slotOf(x);
+    if (this.used[h]) { return false; }
+    this.slots[h] = x;
+    this.used[h] = true;
+    this.count = this.count + 1;
+    return true;
+  }
+
+  bool contains(int x) {
+    int h = this.slotOf(x);
+    return this.used[h];
+  }
+
+  bool remove(int x) {
+    int h = this.slotOf(x);
+    if (!this.used[h]) { return false; }
+    this.used[h] = false;
+    this.count = this.count - 1;
+    return true;
+  }
+
+  int size() { return this.count; }
+
+  void clear() {
+    int i = 0;
+    while (i < this.used.length) {
+      this.used[i] = false;
+      i = i + 1;
+    }
+    this.count = 0;
+  }
+
+  bool addAll(JSet other) {
+    // backing sets only combine through the wrapper in this corpus
+    return other.size() > 0;
+  }
+
+  int sum() {
+    int s = 0;
+    int i = 0;
+    while (i < this.slots.length) {
+      if (this.used[i]) { s = s + this.slots[i]; }
+      i = i + 1;
+    }
+    return s;
+  }
+
+  int pick() {
+    int i = 0;
+    while (i < this.slots.length) {
+      if (this.used[i]) { return this.slots[i]; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+}
+
+class SynchronizedSet implements JSet {
+  HashJSet set;
+  SynchronizedSet mutex;
+
+  SynchronizedSet(HashJSet backing) {
+    this.set = backing;
+    this.mutex = this;
+  }
+
+  bool add(int x) { synchronized (this.mutex) { return this.set.add(x); } }
+  bool contains(int x) { synchronized (this.mutex) { return this.set.contains(x); } }
+  bool remove(int x) { synchronized (this.mutex) { return this.set.remove(x); } }
+  int size() { synchronized (this.mutex) { return this.set.size(); } }
+  void clear() { synchronized (this.mutex) { this.set.clear(); } }
+  bool addAll(JSet other) { synchronized (this.mutex) { return this.set.addAll(other); } }
+  int sum() { synchronized (this.mutex) { return this.set.sum(); } }
+  int pick() { synchronized (this.mutex) { return this.set.pick(); } }
+}
+
+class Seed {
+  static void main() {
+    HashJSet backing = new HashJSet();
+    JSet ss = new SynchronizedSet(backing);
+    ss.add(3);
+    ss.add(5);
+    bool has = ss.contains(3);
+    int n = ss.size();
+    int s = ss.sum();
+    int p = ss.pick();
+    HashJSet backing2 = new HashJSet();
+    backing2.add(9);
+    JSet other = new SynchronizedSet(backing2);
+    ss.addAll(other);
+    ss.remove(3);
+    ss.clear();
+    Sys.print(n + s);
+  }
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* X3: Collections$SynchronizedMap                                     *)
+(* ------------------------------------------------------------------ *)
+
+let synchronized_map =
+  {|
+class MapEntry {
+  int key;
+  int value;
+  MapEntry next;
+  MapEntry(int k, int v) {
+    this.key = k;
+    this.value = v;
+  }
+}
+
+class HashJMap {
+  MapEntry[] buckets;
+  int count;
+
+  HashJMap() {
+    this.buckets = new MapEntry[8];
+    this.count = 0;
+  }
+
+  int bucketOf(int k) { return Sys.abs(k * 31) % this.buckets.length; }
+
+  int put(int k, int v) {
+    int b = this.bucketOf(k);
+    MapEntry e = this.buckets[b];
+    while (e != null) {
+      if (e.key == k) {
+        int old = e.value;
+        e.value = v;
+        return old;
+      }
+      e = e.next;
+    }
+    MapEntry fresh = new MapEntry(k, v);
+    fresh.next = this.buckets[b];
+    this.buckets[b] = fresh;
+    this.count = this.count + 1;
+    return 0 - 1;
+  }
+
+  int get(int k) {
+    int b = this.bucketOf(k);
+    MapEntry e = this.buckets[b];
+    while (e != null) {
+      if (e.key == k) { return e.value; }
+      e = e.next;
+    }
+    return 0 - 1;
+  }
+
+  bool containsKey(int k) {
+    int b = this.bucketOf(k);
+    MapEntry e = this.buckets[b];
+    while (e != null) {
+      if (e.key == k) { return true; }
+      e = e.next;
+    }
+    return false;
+  }
+
+  int removeKey(int k) {
+    int b = this.bucketOf(k);
+    MapEntry e = this.buckets[b];
+    MapEntry prev = null;
+    while (e != null) {
+      if (e.key == k) {
+        if (prev == null) {
+          this.buckets[b] = e.next;
+        } else {
+          prev.next = e.next;
+        }
+        this.count = this.count - 1;
+        return e.value;
+      }
+      prev = e;
+      e = e.next;
+    }
+    return 0 - 1;
+  }
+
+  int size() { return this.count; }
+
+  void clear() {
+    int i = 0;
+    while (i < this.buckets.length) {
+      this.buckets[i] = null;
+      i = i + 1;
+    }
+    this.count = 0;
+  }
+
+  int sumValues() {
+    int s = 0;
+    int i = 0;
+    while (i < this.buckets.length) {
+      MapEntry e = this.buckets[i];
+      while (e != null) {
+        s = s + e.value;
+        e = e.next;
+      }
+      i = i + 1;
+    }
+    return s;
+  }
+}
+
+class SynchronizedMap {
+  HashJMap map;
+  SynchronizedMap mutex;
+
+  SynchronizedMap(HashJMap backing) {
+    this.map = backing;
+    this.mutex = this;
+  }
+
+  int put(int k, int v) { synchronized (this.mutex) { return this.map.put(k, v); } }
+  int get(int k) { synchronized (this.mutex) { return this.map.get(k); } }
+  bool containsKey(int k) { synchronized (this.mutex) { return this.map.containsKey(k); } }
+  int removeKey(int k) { synchronized (this.mutex) { return this.map.removeKey(k); } }
+  int size() { synchronized (this.mutex) { return this.map.size(); } }
+  void clear() { synchronized (this.mutex) { this.map.clear(); } }
+  int sumValues() { synchronized (this.mutex) { return this.map.sumValues(); } }
+}
+
+class Seed {
+  static void main() {
+    HashJMap backing = new HashJMap();
+    SynchronizedMap sm = new SynchronizedMap(backing);
+    int old = sm.put(1, 10);
+    sm.put(2, 20);
+    int g = sm.get(1);
+    bool has = sm.containsKey(2);
+    int n = sm.size();
+    int s = sm.sumValues();
+    int r = sm.removeKey(1);
+    sm.clear();
+    Sys.print(g + n + s);
+  }
+}
+|}
+
+let entries : Corpus_def.entry list =
+  [
+    {
+      Corpus_def.e_id = "X1";
+      e_name = "SynchronizedList";
+      e_benchmark = "openjdk";
+      e_version = "1.7";
+      e_source = synchronized_list;
+      e_seed_cls = "Seed";
+      e_seed_meth = "main";
+      e_paper = zero_row;
+    };
+    {
+      Corpus_def.e_id = "X2";
+      e_name = "SynchronizedSet";
+      e_benchmark = "openjdk";
+      e_version = "1.7";
+      e_source = synchronized_set;
+      e_seed_cls = "Seed";
+      e_seed_meth = "main";
+      e_paper = zero_row;
+    };
+    {
+      Corpus_def.e_id = "X3";
+      e_name = "SynchronizedMap";
+      e_benchmark = "openjdk";
+      e_version = "1.7";
+      e_source = synchronized_map;
+      e_seed_cls = "Seed";
+      e_seed_meth = "main";
+      e_paper = zero_row;
+    };
+  ]

@@ -1,0 +1,27 @@
+(* The benchmark registry: the nine classes of Table 3, in order. *)
+
+let all : Corpus_def.entry list =
+  [
+    C1_write_behind_queue.entry;
+    C2_synchronized_collection.entry;
+    C3_char_array_writer.entry;
+    C4_dynamic_bin.entry;
+    C5_double_int_index.entry;
+    C6_scanner.entry;
+    C7_pooled_executor.entry;
+    C8_sequence.entry;
+    C9_char_array_reader.entry;
+  ]
+
+(* The footnote-5 openjdk wrapper family (races "very similar to
+   SynchronizedCollection"); not part of the paper's tables. *)
+let extras : Corpus_def.entry list = Openjdk_extras.entries
+
+let find id =
+  List.find_opt
+    (fun (e : Corpus_def.entry) ->
+      String.equal (String.lowercase_ascii e.Corpus_def.e_id)
+        (String.lowercase_ascii id))
+    (all @ extras)
+
+let ids = List.map (fun (e : Corpus_def.entry) -> e.Corpus_def.e_id) all

@@ -1,0 +1,13 @@
+(** The benchmark registry: the nine classes of Table 3, in order. *)
+
+val all : Corpus_def.entry list
+(** The nine Table 3 classes, C1..C9. *)
+
+val extras : Corpus_def.entry list
+(** The footnote-5 openjdk wrapper family (X1..X3): races "very similar
+    to SynchronizedCollection", excluded from the paper's tables. *)
+
+val find : string -> Corpus_def.entry option
+(** Case-insensitive lookup by id over [all] and [extras]. *)
+
+val ids : string list

@@ -1,0 +1,1 @@
+lib/deadlock/dlsynth.ml: Conc Detect Fun Int64 Jir List Lockorder Narada_core Printf Result Runtime

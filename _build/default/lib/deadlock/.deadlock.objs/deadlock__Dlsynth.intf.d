@@ -1,0 +1,1 @@
+lib/deadlock/dlsynth.mli: Conc Detect Jir Lockorder Runtime

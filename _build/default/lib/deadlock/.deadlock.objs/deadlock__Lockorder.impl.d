@@ -1,0 +1,1 @@
+lib/deadlock/lockorder.ml: Array Hashtbl Jir List Narada_core Printf Runtime String

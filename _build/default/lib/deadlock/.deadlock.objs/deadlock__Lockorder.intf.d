@@ -1,0 +1,1 @@
+lib/deadlock/lockorder.mli: Jir Narada_core Runtime

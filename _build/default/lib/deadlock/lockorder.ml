@@ -1,0 +1,132 @@
+(* Lock-order extraction from sequential traces, after the authors'
+   companion work on synthesizing deadlock-revealing tests (Samak &
+   Ramanathan, OOPSLA'14, cited in §6 of the racy-tests paper).
+
+   Walking the seed trace, every monitor acquisition performed while
+   another monitor is already held yields a *nesting edge*: within
+   client-level invocation m, a lock on an object reachable as I-path p
+   is held while acquiring one reachable as q.  Two edges with
+   cross-unifiable endpoints — cls(p₁)=cls(q₂) and cls(q₁)=cls(p₂) —
+   form a potential ABBA deadlock pair. *)
+
+type edge = {
+  ed_qname : string; (* client-level method performing the nested acquire *)
+  ed_cls : Jir.Ast.id;
+  ed_meth : Jir.Ast.id;
+  ed_occurrence : int;
+  ed_outer : Narada_core.Sym.t; (* I-path of the already-held lock *)
+  ed_outer_cls : string option;
+  ed_inner : Narada_core.Sym.t; (* I-path of the lock being acquired *)
+  ed_inner_cls : string option;
+}
+
+let edge_to_string e =
+  Printf.sprintf "%s: holds %s%s, acquires %s%s" e.ed_qname
+    (Narada_core.Sym.to_string e.ed_outer)
+    (match e.ed_outer_cls with Some c -> ":" ^ c | None -> "")
+    (Narada_core.Sym.to_string e.ed_inner)
+    (match e.ed_inner_cls with Some c -> ":" ^ c | None -> "")
+
+(* A potential deadlock: thread 1 runs [dl_a] (locks X then Y), thread 2
+   runs [dl_b] (locks Y then X). *)
+type pair = { dl_a : edge; dl_b : edge }
+
+let pair_to_string p =
+  Printf.sprintf "deadlock pair:\n  t1 %s\n  t2 %s" (edge_to_string p.dl_a)
+    (edge_to_string p.dl_b)
+
+(* Extract nesting edges from a trace. *)
+let edges_of_trace ~client_classes (trace : Runtime.Trace.t) : edge list =
+  let h = Narada_core.Absheap.create ~client_classes in
+  let held : Runtime.Value.addr list ref = ref [] in
+  let out = ref [] in
+  Array.iter
+    (fun (ev : Runtime.Event.t) ->
+      (match ev with
+      | Runtime.Event.Lock { addr; frame; _ } ->
+        (match !held with
+        | [] -> ()
+        | outer :: _ when outer = addr -> () (* reentrant: no edge *)
+        | outer :: _ -> (
+          match Narada_core.Absheap.client_anchor h frame with
+          | None -> ()
+          | Some fi -> (
+            match
+              ( Narada_core.Absheap.src h fi outer,
+                Narada_core.Absheap.src h fi addr )
+            with
+            | Some po, Some pi ->
+              out :=
+                {
+                  ed_qname = fi.Narada_core.Absheap.fi_qname;
+                  ed_cls = fi.Narada_core.Absheap.fi_cls;
+                  ed_meth = fi.Narada_core.Absheap.fi_meth;
+                  ed_occurrence = fi.Narada_core.Absheap.fi_occurrence;
+                  ed_outer = po;
+                  ed_outer_cls = Narada_core.Absheap.class_of h outer;
+                  ed_inner = pi;
+                  ed_inner_cls = Narada_core.Absheap.class_of h addr;
+                }
+                :: !out
+            | _, _ -> ())));
+        held := addr :: !held
+      | Runtime.Event.Unlock { addr; _ } ->
+        let rec remove_one = function
+          | [] -> []
+          | x :: rest -> if x = addr then rest else x :: remove_one rest
+        in
+        held := remove_one !held
+      | _ -> ());
+      Narada_core.Absheap.consume h ev)
+    trace;
+  (* dedup on the printable form *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun e ->
+      let k = edge_to_string e in
+      if Hashtbl.mem seen k then false
+      else (
+        Hashtbl.replace seen k ();
+        true))
+    (List.rev !out)
+
+let cls_compatible a b =
+  match (a, b) with
+  | Some x, Some y -> String.equal x y
+  | None, _ | _, None -> true
+
+(* ABBA pairs: e1 holds X acquires Y, e2 holds Y acquires X.  The same
+   edge can pair with itself (the classic transfer/transfer deadlock)
+   when its two lock classes coincide or are symmetric. *)
+let pairs_of_edges (edges : edge list) : pair list =
+  let out = ref [] in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e1 ->
+      List.iter
+        (fun e2 ->
+          if
+            cls_compatible e1.ed_outer_cls e2.ed_inner_cls
+            && cls_compatible e1.ed_inner_cls e2.ed_outer_cls
+          then begin
+            let k1 = edge_to_string e1 and k2 = edge_to_string e2 in
+            let key = if k1 <= k2 then (k1, k2) else (k2, k1) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              out := { dl_a = e1; dl_b = e2 } :: !out
+            end
+          end)
+        edges)
+    edges;
+  List.rev !out
+
+let analyze (cu : Jir.Code.unit_) ~client_classes ~seed_cls ~seed_meth :
+    (edge list * pair list, string) result =
+  let _m, trace, res =
+    Runtime.Interp.record cu ~client_classes ~cls:seed_cls ~meth:seed_meth
+  in
+  match res with
+  | Error e -> Error e
+  | Ok _ ->
+    let edges = edges_of_trace ~client_classes trace in
+    Ok (edges, pairs_of_edges edges)

@@ -1,0 +1,1 @@
+lib/detect/djit.ml: Array Hashtbl Int Jir List Map Option Race Runtime String Vclock

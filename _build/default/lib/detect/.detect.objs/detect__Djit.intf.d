@@ -1,0 +1,1 @@
+lib/detect/djit.mli: Race Runtime

@@ -1,0 +1,1 @@
+lib/detect/fasttrack.ml: Array Hashtbl Int Jir List Map Option Race Runtime String Vclock

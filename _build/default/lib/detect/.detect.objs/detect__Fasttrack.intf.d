@@ -1,0 +1,1 @@
+lib/detect/fasttrack.mli: Race Runtime

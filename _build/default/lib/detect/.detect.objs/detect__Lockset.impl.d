@@ -1,0 +1,1 @@
+lib/detect/lockset.ml: Array Int Jir List Map Option Race Runtime Set String

@@ -1,0 +1,1 @@
+lib/detect/race.ml: Format Hashtbl Jir List Printf Runtime String

@@ -1,0 +1,1 @@
+lib/detect/race.mli: Format Jir Runtime

@@ -1,0 +1,1 @@
+lib/detect/racefuzzer.ml: Hashtbl Int Int64 Jir List Option Race Runtime String

@@ -1,0 +1,1 @@
+lib/detect/racefuzzer.mli: Jir Race Runtime

@@ -1,0 +1,1 @@
+lib/detect/triage.ml: List Racefuzzer Result Runtime String

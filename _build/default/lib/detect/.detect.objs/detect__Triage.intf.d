@@ -1,0 +1,1 @@
+lib/detect/triage.mli: Racefuzzer

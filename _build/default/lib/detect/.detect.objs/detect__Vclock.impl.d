@@ -1,0 +1,1 @@
+lib/detect/vclock.ml: Array List Printf String

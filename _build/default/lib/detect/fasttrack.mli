@@ -1,0 +1,19 @@
+(** FastTrack-style happens-before race detection (Flanagan & Freund,
+    PLDI'09): per-thread vector clocks, per-lock release clocks, and
+    adaptive per-variable metadata (last-write epoch, last-read epoch or
+    read vector clock).
+
+    Happens-before edges come from monitor release→acquire, spawn and
+    join events.  The detector flags a variable iff some pair of
+    conflicting accesses is unordered — property-tested against a naive
+    full-history oracle in the test-suite. *)
+
+type t
+
+val create : unit -> t
+val observer : t -> Runtime.Event.t -> unit
+val attach : Runtime.Machine.t -> t
+
+val reports : t -> Race.report list
+(** Races detected on the observed execution, deduplicated by site
+    pair. *)

@@ -1,0 +1,176 @@
+(* Lockset-based race detection.
+
+   Two detectors share the bookkeeping here:
+
+   - [eraser]: the classic Eraser state machine (Savage et al., TOCS'97):
+     per-variable Virgin → Exclusive(t) → Shared → Shared-Modified with a
+     shrinking candidate lockset; a race is reported when the candidate
+     set empties in a (potentially) shared-modified state.
+
+   - [candidates]: the hybrid pair collector used to seed RaceFuzzer:
+     record every access with its lockset and report all pairs from
+     different threads on the same variable with at least one write and
+     disjoint locksets.  Noisier than Eraser but never misses the pair a
+     directed scheduler should try to force. *)
+
+type var = { v_obj : Runtime.Value.addr; v_field : Jir.Ast.id; v_idx : int option }
+
+let compare_var a b =
+  match Int.compare a.v_obj b.v_obj with
+  | 0 -> (
+    match String.compare a.v_field b.v_field with
+    | 0 -> Option.compare Int.compare a.v_idx b.v_idx
+    | c -> c)
+  | c -> c
+
+module VarMap = Map.Make (struct
+  type t = var
+
+  let compare = compare_var
+end)
+
+module AddrSet = Set.Make (Int)
+
+type eraser_state =
+  | Virgin
+  | Exclusive of Runtime.Value.tid
+  | Shared of AddrSet.t (* read-shared; candidate lockset *)
+  | Shared_modified of AddrSet.t
+
+type t = {
+  mutable held : AddrSet.t array; (* per-tid held locks; grown on demand *)
+  mutable states : (eraser_state * Race.access option) VarMap.t;
+      (* Eraser state + last access witness *)
+  mutable history : Race.access list VarMap.t; (* for candidate pairs *)
+  mutable reports : Race.report list; (* Eraser reports, newest first *)
+  keep_history : bool;
+}
+
+let create ?(keep_history = true) () =
+  {
+    held = Array.make 8 AddrSet.empty;
+    states = VarMap.empty;
+    history = VarMap.empty;
+    reports = [];
+    keep_history;
+  }
+
+let ensure t tid =
+  if tid >= Array.length t.held then begin
+    let bigger = Array.make (max (tid + 1) (2 * Array.length t.held)) AddrSet.empty in
+    Array.blit t.held 0 bigger 0 (Array.length t.held);
+    t.held <- bigger
+  end
+
+let held t tid =
+  ensure t tid;
+  t.held.(tid)
+
+let mk_access ~tid ~site ~kind ~obj ~field ~idx ~label ~value t : Race.access =
+  {
+    Race.a_tid = tid;
+    a_site = site;
+    a_kind = kind;
+    a_obj = obj;
+    a_field = field;
+    a_idx = idx;
+    a_locks = AddrSet.elements (held t tid);
+    a_label = label;
+    a_value = value;
+  }
+
+(* Eraser transition for one access. *)
+let eraser_step t (acc : Race.access) =
+  let v = { v_obj = acc.Race.a_obj; v_field = acc.Race.a_field; v_idx = acc.Race.a_idx } in
+  let locks = AddrSet.of_list acc.Race.a_locks in
+  let prev_state, prev_witness =
+    match VarMap.find_opt v t.states with
+    | Some sw -> sw
+    | None -> (Virgin, None)
+  in
+  let report set state =
+    if AddrSet.is_empty set then (
+      let first = match prev_witness with Some w -> w | None -> acc in
+      t.reports <-
+        { Race.r_first = first; r_second = acc; r_detector = "eraser" }
+        :: t.reports);
+    state
+  in
+  let next =
+    match (prev_state, acc.Race.a_kind) with
+    | Virgin, `Read | Virgin, `Write -> Exclusive acc.Race.a_tid
+    | Exclusive t0, _ when t0 = acc.Race.a_tid -> Exclusive t0
+    | Exclusive _, `Read -> Shared locks
+    | Exclusive _, `Write -> report locks (Shared_modified locks)
+    | Shared c, `Read -> Shared (AddrSet.inter c locks)
+    | Shared c, `Write ->
+      let c' = AddrSet.inter c locks in
+      report c' (Shared_modified c')
+    | Shared_modified c, (`Read | `Write) ->
+      let c' = AddrSet.inter c locks in
+      report c' (Shared_modified c')
+  in
+  t.states <- VarMap.add v (next, Some acc) t.states
+
+let record_access t (acc : Race.access) =
+  eraser_step t acc;
+  if t.keep_history then
+    t.history <-
+      VarMap.update
+        { v_obj = acc.Race.a_obj; v_field = acc.Race.a_field; v_idx = acc.Race.a_idx }
+        (function None -> Some [ acc ] | Some l -> Some (acc :: l))
+        t.history
+
+(* Observer translating machine events. *)
+let observer t (e : Runtime.Event.t) =
+  match e with
+  | Runtime.Event.Lock { tid; addr; _ } ->
+    ensure t tid;
+    t.held.(tid) <- AddrSet.add addr t.held.(tid)
+  | Runtime.Event.Unlock { tid; addr; _ } ->
+    ensure t tid;
+    t.held.(tid) <- AddrSet.remove addr t.held.(tid)
+  | Runtime.Event.Read { tid; site; obj; field; idx; label; v; _ } ->
+    record_access t
+      (mk_access ~tid ~site ~kind:`Read ~obj ~field ~idx ~label ~value:v t)
+  | Runtime.Event.Write { tid; site; obj; field; idx; label; v; _ } ->
+    record_access t
+      (mk_access ~tid ~site ~kind:`Write ~obj ~field ~idx ~label ~value:v t)
+  | Runtime.Event.Const _ | Runtime.Event.Move _ | Runtime.Event.Alloc _
+  | Runtime.Event.Invoke _ | Runtime.Event.Param _ | Runtime.Event.Return _
+  | Runtime.Event.Spawned _ | Runtime.Event.Joined _ | Runtime.Event.Thrown _
+    ->
+    ()
+
+let attach ?(keep_history = true) m =
+  let t = create ~keep_history () in
+  Runtime.Machine.add_observer m (observer t);
+  t
+
+let eraser_reports t = Race.dedup (List.rev t.reports)
+
+let disjoint a b = not (List.exists (fun x -> List.mem x b) a)
+
+(* All conflicting access pairs with disjoint locksets (the hybrid
+   candidate set fed to the directed scheduler). *)
+let candidates t : Race.report list =
+  let out = ref [] in
+  VarMap.iter
+    (fun _v accs ->
+      let accs = Array.of_list (List.rev accs) in
+      let n = Array.length accs in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = accs.(i) and b = accs.(j) in
+          if
+            a.Race.a_tid <> b.Race.a_tid
+            && (a.Race.a_kind = `Write || b.Race.a_kind = `Write)
+            && disjoint a.Race.a_locks b.Race.a_locks
+          then
+            out :=
+              { Race.r_first = a; r_second = b; r_detector = "lockset-pairs" }
+              :: !out
+        done
+      done)
+    t.history;
+  Race.dedup (List.rev !out)

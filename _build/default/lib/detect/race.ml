@@ -1,0 +1,73 @@
+(* Race reports shared by all detectors.  A race is a pair of accesses
+   to the same variable (object/field, or array slot) from different
+   threads, at least one a write, not ordered by happens-before /
+   not protected by a common lock (depending on the detector). *)
+
+type access = {
+  a_tid : Runtime.Value.tid;
+  a_site : Runtime.Event.site;
+  a_kind : [ `Read | `Write ];
+  a_obj : Runtime.Value.addr;
+  a_field : Jir.Ast.id;
+  a_idx : int option;
+  a_locks : Runtime.Value.addr list; (* locks held at the access *)
+  a_label : Runtime.Event.label;
+  a_value : Runtime.Value.t; (* value read/written *)
+}
+
+type report = {
+  r_first : access;
+  r_second : access;
+  r_detector : string;
+}
+
+(* The static identity of a race: unordered pair of sites plus the field
+   name.  Dedup and counting ("races detected" in Table 5) use this. *)
+type key = { k_site1 : Runtime.Event.site; k_site2 : Runtime.Event.site; k_field : Jir.Ast.id }
+
+let key_of (r : report) : key =
+  let s1 = r.r_first.a_site and s2 = r.r_second.a_site in
+  if Runtime.Event.compare_site s1 s2 <= 0 then
+    { k_site1 = s1; k_site2 = s2; k_field = r.r_first.a_field }
+  else { k_site1 = s2; k_site2 = s1; k_field = r.r_first.a_field }
+
+let compare_key a b =
+  match Runtime.Event.compare_site a.k_site1 b.k_site1 with
+  | 0 -> (
+    match Runtime.Event.compare_site a.k_site2 b.k_site2 with
+    | 0 -> String.compare a.k_field b.k_field
+    | c -> c)
+  | c -> c
+
+let key_to_string k =
+  Printf.sprintf "%s <-> %s on .%s"
+    (Runtime.Event.site_to_string k.k_site1)
+    (Runtime.Event.site_to_string k.k_site2)
+    k.k_field
+
+let kind_to_string = function `Read -> "read" | `Write -> "write"
+
+let pp_access fmt (a : access) =
+  Format.fprintf fmt "t%d %s of @%d.%s%s at %s holding {%s}" a.a_tid
+    (kind_to_string a.a_kind) a.a_obj a.a_field
+    (match a.a_idx with Some i -> Printf.sprintf "[%d]" i | None -> "")
+    (Runtime.Event.site_to_string a.a_site)
+    (String.concat "," (List.map string_of_int a.a_locks))
+
+let pp fmt (r : report) =
+  Format.fprintf fmt "@[<v 2>race (%s):@,%a@,%a@]" r.r_detector pp_access
+    r.r_first pp_access r.r_second
+
+let to_string r = Format.asprintf "%a" pp r
+
+(* Deduplicate a report list by static key, keeping the first witness. *)
+let dedup (rs : report list) : report list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun r ->
+      let k = key_of r in
+      if Hashtbl.mem seen k then false
+      else (
+        Hashtbl.replace seen k ();
+        true))
+    rs

@@ -1,0 +1,198 @@
+(* Race-directed randomized scheduling, after RaceFuzzer (Sen, PLDI'08).
+
+   Given a candidate racy pair (from the lockset pass), run the program
+   under a random scheduler that *postpones* any thread about to perform
+   a matching access.  When two threads are simultaneously postponed at
+   conflicting accesses to the same variable (same object and field, at
+   least one write), the race is real and is reported with both accesses
+   enabled; the scheduler then executes them back to back.
+
+   The machinery is reused by triage to force a racy interleaving. *)
+
+type instance = {
+  ri_machine : Runtime.Machine.t;
+  ri_threads : Runtime.Value.tid list; (* the concurrently racing threads *)
+  ri_roots : Runtime.Value.t list; (* observable roots, for triage *)
+}
+
+type instantiator = unit -> (instance, string) result
+
+(* What to look for: the field name, optionally narrowed to two sites. *)
+type candidate = {
+  c_field : Jir.Ast.id;
+  c_sites : (Runtime.Event.site * Runtime.Event.site) option;
+}
+
+let candidate_of_report (r : Race.report) : candidate =
+  {
+    c_field = r.Race.r_first.Race.a_field;
+    c_sites = Some (r.Race.r_first.Race.a_site, r.Race.r_second.Race.a_site);
+  }
+
+let matches (cand : candidate) (pa : Runtime.Machine.pending_access) =
+  String.equal pa.Runtime.Machine.pa_field cand.c_field
+  &&
+  match cand.c_sites with
+  | None -> true
+  | Some (s1, s2) ->
+    Runtime.Event.compare_site pa.Runtime.Machine.pa_site s1 = 0
+    || Runtime.Event.compare_site pa.Runtime.Machine.pa_site s2 = 0
+
+type confirm_result = {
+  confirmed : Race.report option;
+  runs_used : int;
+  steps : int;
+}
+
+(* splitmix64, local copy to keep this module self-contained. *)
+let rand_next (s : int64) : int64 * int64 =
+  let open Int64 in
+  let s = add s 0x9E3779B97F4A7C15L in
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (logxor z (shift_right_logical z 31), s)
+
+let access_of_pending m tid (pa : Runtime.Machine.pending_access) ~label :
+    Race.access =
+  {
+    Race.a_tid = tid;
+    a_site = pa.Runtime.Machine.pa_site;
+    a_kind = pa.Runtime.Machine.pa_kind;
+    a_obj = pa.Runtime.Machine.pa_obj;
+    a_field = pa.Runtime.Machine.pa_field;
+    a_idx = pa.Runtime.Machine.pa_idx;
+    a_locks = Runtime.Machine.held_locks m tid;
+    a_label = label;
+    a_value = Runtime.Value.Vnull;
+  }
+
+let conflicting (a : Runtime.Machine.pending_access)
+    (b : Runtime.Machine.pending_access) =
+  a.Runtime.Machine.pa_obj = b.Runtime.Machine.pa_obj
+  && String.equal a.Runtime.Machine.pa_field b.Runtime.Machine.pa_field
+  && Option.equal Int.equal a.Runtime.Machine.pa_idx b.Runtime.Machine.pa_idx
+  && (a.Runtime.Machine.pa_kind = `Write || b.Runtime.Machine.pa_kind = `Write)
+
+(* One directed execution.  [on_confirm] decides what to do when the
+   pair is simultaneously enabled: return [`Report] to stop and report,
+   or [`Force order] to execute the racing accesses in the given order
+   and continue to completion (used by triage). *)
+let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
+    ~(on_confirm :
+       [ `Report | `Force_first of unit | `Force_second of unit ]) :
+    Race.report option =
+  let rng = ref seed in
+  let pick n =
+    let z, s = rand_next !rng in
+    rng := s;
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int n))
+  in
+  let postponed : (Runtime.Value.tid, Runtime.Machine.pending_access) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let steps = ref 0 in
+  let result = ref None in
+  let step_tid tid =
+    ignore (Runtime.Machine.step m tid);
+    incr steps
+  in
+  let rec loop fuel =
+    if fuel <= 0 || !result <> None then ()
+    else begin
+      (* Refresh the postponed set: threads poised at a matching access. *)
+      List.iter
+        (fun tid ->
+          if not (Hashtbl.mem postponed tid) then
+            match Runtime.Machine.pending_access m tid with
+            | Some pa when matches cand pa -> Hashtbl.replace postponed tid pa
+            | Some _ | None -> ())
+        (Runtime.Machine.runnable_tids m);
+      (* Check for a simultaneously-enabled conflicting pair. *)
+      let poised = Hashtbl.fold (fun tid pa acc -> (tid, pa) :: acc) postponed [] in
+      let pair =
+        List.concat_map
+          (fun (t1, p1) ->
+            List.filter_map
+              (fun (t2, p2) ->
+                if t1 < t2 && conflicting p1 p2 then Some ((t1, p1), (t2, p2))
+                else None)
+              poised)
+          poised
+      in
+      match pair with
+      | ((t1, p1), (t2, p2)) :: _ -> (
+        let report =
+          {
+            Race.r_first = access_of_pending m t1 p1 ~label:!steps;
+            r_second = access_of_pending m t2 p2 ~label:!steps;
+            r_detector = "racefuzzer";
+          }
+        in
+        result := Some report;
+        match on_confirm with
+        | `Report -> ()
+        | `Force_first () ->
+          (* Execute the racing accesses back to back, first t1's. *)
+          step_tid t1;
+          step_tid t2;
+          Hashtbl.reset postponed;
+          drain fuel
+        | `Force_second () ->
+          step_tid t2;
+          step_tid t1;
+          Hashtbl.reset postponed;
+          drain fuel)
+      | [] -> (
+        let runnable =
+          List.filter
+            (fun tid -> not (Hashtbl.mem postponed tid))
+            (Runtime.Machine.runnable_tids m)
+        in
+        match runnable with
+        | [] -> (
+          (* Everyone is postponed or blocked: release a postponed thread. *)
+          let poised = Hashtbl.fold (fun tid _ acc -> tid :: acc) postponed [] in
+          match List.sort Int.compare poised with
+          | [] -> () (* genuine deadlock or completion *)
+          | l ->
+            let tid = List.nth l (pick (List.length l)) in
+            Hashtbl.remove postponed tid;
+            step_tid tid;
+            loop (fuel - 1))
+        | l ->
+          let tid = List.nth l (pick (List.length l)) in
+          step_tid tid;
+          loop (fuel - 1))
+    end
+  and drain fuel =
+    (* Finish the execution under plain random scheduling. *)
+    if fuel > 0 then
+      match Runtime.Machine.runnable_tids m with
+      | [] -> ()
+      | l ->
+        let tid = List.nth l (pick (List.length l)) in
+        step_tid tid;
+        drain (fuel - 1)
+  in
+  loop fuel;
+  !result
+
+(* Try to confirm a candidate over several directed runs with different
+   scheduler seeds. *)
+let confirm ~(instantiate : instantiator) ~(cand : candidate) ?(runs = 10)
+    ?(fuel = 200_000) ?(seed = 7L) () : confirm_result =
+  let rec attempt i =
+    if i >= runs then { confirmed = None; runs_used = runs; steps = 0 }
+    else
+      match instantiate () with
+      | Error _ -> { confirmed = None; runs_used = i; steps = 0 }
+      | Ok inst -> (
+        let run_seed = Int64.add seed (Int64.of_int (i * 7919)) in
+        match
+          directed_run inst.ri_machine ~cand ~seed:run_seed ~fuel
+            ~on_confirm:`Report
+        with
+        | Some r -> { confirmed = Some r; runs_used = i + 1; steps = 0 }
+        | None -> attempt (i + 1))
+  in
+  attempt 0

@@ -1,0 +1,57 @@
+(** Race-directed randomized scheduling, after RaceFuzzer (Sen, PLDI'08).
+
+    Given a candidate racy pair (from the lockset pass), run the program
+    under a random scheduler that postpones any thread about to perform
+    a matching access; when two threads are simultaneously postponed at
+    conflicting accesses to the same variable the race is real and is
+    reported. *)
+
+(** A prepared execution: a machine whose racy threads exist but have
+    not been scheduled yet, plus the observable roots for triage. *)
+type instance = {
+  ri_machine : Runtime.Machine.t;
+  ri_threads : Runtime.Value.tid list;
+  ri_roots : Runtime.Value.t list;
+}
+
+type instantiator = unit -> (instance, string) result
+(** Rebuilds an identical initial state on every call (the synthesizer
+    provides these). *)
+
+(** What to look for: a field name, optionally narrowed to two sites. *)
+type candidate = {
+  c_field : Jir.Ast.id;
+  c_sites : (Runtime.Event.site * Runtime.Event.site) option;
+}
+
+val candidate_of_report : Race.report -> candidate
+val matches : candidate -> Runtime.Machine.pending_access -> bool
+
+type confirm_result = {
+  confirmed : Race.report option;
+  runs_used : int;
+  steps : int;
+}
+
+val confirm :
+  instantiate:instantiator ->
+  cand:candidate ->
+  ?runs:int ->
+  ?fuel:int ->
+  ?seed:int64 ->
+  unit ->
+  confirm_result
+(** Attempt to confirm the candidate over several directed runs with
+    different scheduler seeds. *)
+
+val directed_run :
+  Runtime.Machine.t ->
+  cand:candidate ->
+  seed:int64 ->
+  fuel:int ->
+  on_confirm:[ `Report | `Force_first of unit | `Force_second of unit ] ->
+  Race.report option
+(** One directed execution.  [`Report] stops at the confirmation;
+    [`Force_first]/[`Force_second] execute the racing accesses back to
+    back in the given order and run the program to completion (used by
+    {!Triage}). *)

@@ -1,0 +1,22 @@
+(** Harmful/benign triage of confirmed races, mechanizing the paper's
+    manual judgement (§5): a race is benign when forcing the racy
+    interleaving cannot change observable state (e.g. resets to
+    constants), harmful otherwise (lost updates, crashes,
+    order-sensitive state).
+
+    Implementation: over identical instantiations, compare the fully
+    serialized executions (both orders) with race-forced executions
+    (racing accesses back to back, both orders); any difference in the
+    canonical heap snapshot or crash set ⇒ harmful. *)
+
+type verdict = Harmful | Benign
+
+val verdict_to_string : verdict -> string
+
+val triage :
+  instantiate:Racefuzzer.instantiator ->
+  cand:Racefuzzer.candidate ->
+  ?seed:int64 ->
+  ?fuel:int ->
+  unit ->
+  (verdict, string) result

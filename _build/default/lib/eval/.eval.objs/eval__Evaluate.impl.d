@@ -1,0 +1,1 @@
+lib/eval/evaluate.ml: Buffer Conc Corpus Detect Hashtbl Int64 Jir List Narada_core Printf String Unix

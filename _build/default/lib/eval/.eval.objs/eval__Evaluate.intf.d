@@ -1,0 +1,1 @@
+lib/eval/evaluate.mli: Corpus Detect Narada_core

@@ -1,0 +1,1 @@
+lib/eval/tables.ml: Array Buffer Contege Corpus Evaluate List Printf String

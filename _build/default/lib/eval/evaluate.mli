@@ -1,0 +1,63 @@
+(** Evaluation harness: reproduces the measurements of §5 for one
+    benchmark class — the Table 4 synthesis columns and the Table 5
+    detection columns (detected / reproduced / harmful / benign), plus
+    the per-test race counts behind Figure 14. *)
+
+type race_outcome = {
+  ro_key : Detect.Race.key;
+  ro_reproduced : bool;  (** confirmed by the directed scheduler *)
+  ro_verdict : Detect.Triage.verdict option;  (** for reproduced races *)
+}
+
+type test_eval = {
+  te_test : Narada_core.Synth.test;
+  te_instantiated : bool;
+  te_races : race_outcome list;  (** distinct races this test detected *)
+}
+
+type class_eval = {
+  cl_entry : Corpus.Corpus_def.entry;
+  cl_methods : int;
+  cl_loc : int;
+  cl_pairs : int;
+  cl_tests : int;
+  cl_seconds : float;  (** synthesis time *)
+  cl_detect_seconds : float;
+  cl_test_evals : test_eval list;
+  cl_detected : int;  (** distinct races across all tests *)
+  cl_reproduced : int;
+  cl_harmful : int;
+  cl_benign : int;
+}
+
+type options = {
+  opt_schedules : int;  (** random schedules per test for detection *)
+  opt_confirm_runs : int;  (** directed runs per candidate *)
+  opt_seed : int64;
+}
+
+val default_options : options
+
+val evaluate_test :
+  options -> Narada_core.Pipeline.analysis -> Narada_core.Synth.test -> test_eval
+
+val evaluate_class :
+  ?opts:options -> Corpus.Corpus_def.entry -> (class_eval, string) result
+
+val fig14_buckets : string list
+(** ["0"; "1"; "2"; "3-5"; "5-10"; ">10"] *)
+
+val fig14_distribution : class_eval -> (string * float) list
+(** Percentage of the class's tests per bucket of detected races. *)
+
+(** Ablation of the shareObjects/context phase: tests exposing at least
+    one candidate race on a seeded execution, with and without it. *)
+type ablation_row = {
+  ab_id : string;
+  ab_with_context : int;
+  ab_without_context : int;
+  ab_tests : int;
+}
+
+val ablation : Corpus.Corpus_def.entry -> (ablation_row, string) result
+val ablation_table : ablation_row list -> string

@@ -1,0 +1,1 @@
+lib/jir/code.ml: Array Ast Diag Format Hashtbl Intrinsics List Printf Program String

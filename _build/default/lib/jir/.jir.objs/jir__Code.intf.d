@@ -1,0 +1,1 @@
+lib/jir/code.mli: Ast Format Hashtbl Intrinsics Program

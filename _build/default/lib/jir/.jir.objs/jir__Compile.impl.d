@@ -1,0 +1,1 @@
+lib/jir/compile.ml: Array Ast Code Diag Format Hashtbl Intrinsics List Parser Program String Typecheck

@@ -1,0 +1,1 @@
+lib/jir/compile.mli: Ast Code Program

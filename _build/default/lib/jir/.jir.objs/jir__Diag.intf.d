@@ -1,0 +1,1 @@
+lib/jir/diag.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/jir/intrinsics.ml: Ast Diag List String

@@ -1,0 +1,1 @@
+lib/jir/intrinsics.mli: Ast

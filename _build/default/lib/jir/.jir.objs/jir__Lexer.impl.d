@@ -1,0 +1,1 @@
+lib/jir/lexer.ml: Array Ast Buffer Diag List Printf String

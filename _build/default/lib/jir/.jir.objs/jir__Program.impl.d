@@ -1,0 +1,1 @@
+lib/jir/program.ml: Ast Diag Hashtbl List String

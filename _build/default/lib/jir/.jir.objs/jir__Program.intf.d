@@ -1,0 +1,1 @@
+lib/jir/program.mli: Ast

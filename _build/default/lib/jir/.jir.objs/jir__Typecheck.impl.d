@@ -1,0 +1,1 @@
+lib/jir/typecheck.ml: Ast Diag Hashtbl Intrinsics List Program String

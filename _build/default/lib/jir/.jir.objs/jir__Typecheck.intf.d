@@ -1,0 +1,1 @@
+lib/jir/typecheck.mli: Ast Hashtbl Program

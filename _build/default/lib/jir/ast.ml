@@ -1,0 +1,164 @@
+(* Abstract syntax for Jir, the Java-like object language used as the
+   substrate for the Narada reproduction.  The language is deliberately
+   close to the fragment of Java the paper's analysis reasons about:
+   classes with (possibly [synchronized]) methods, single inheritance,
+   interfaces, constructors, object fields, arrays, monitors, and a
+   [spawn]/[join] construct for writing multithreaded clients. *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+let pp_pos fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+
+type id = string
+
+type ty =
+  | Tint
+  | Tbool
+  | Tstr
+  | Tvoid
+  | Tclass of id
+  | Tarray of ty
+  | Tthread
+
+let rec equal_ty a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tstr, Tstr | Tvoid, Tvoid | Tthread, Tthread
+    ->
+    true
+  | Tclass c1, Tclass c2 -> String.equal c1 c2
+  | Tarray t1, Tarray t2 -> equal_ty t1 t2
+  | (Tint | Tbool | Tstr | Tvoid | Tclass _ | Tarray _ | Tthread), _ -> false
+
+let rec pp_ty fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tstr -> Format.pp_print_string fmt "str"
+  | Tvoid -> Format.pp_print_string fmt "void"
+  | Tthread -> Format.pp_print_string fmt "thread"
+  | Tclass c -> Format.pp_print_string fmt c
+  | Tarray t -> Format.fprintf fmt "%a[]" pp_ty t
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type unop = Not | Neg
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Eint of int
+  | Ebool of bool
+  | Estr of string
+  | Enull
+  | Ethis
+  | Evar of id
+  | Efield of expr * id (* also covers [.length] on arrays *)
+  | Estatic_field of id * id
+  | Eindex of expr * expr
+  | Ecall of expr * id * expr list
+  | Estatic_call of id * id * expr list
+  | Enew of id * expr list
+  | Enew_array of ty * expr
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+
+type lvalue =
+  | Lvar of id
+  | Lfield of expr * id
+  | Lstatic of id * id
+  | Lindex of expr * expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sdecl of ty * id * expr option
+  | Sassign of lvalue * expr
+  | Sexpr of expr
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sfor of stmt option * expr option * stmt option * block
+    (* init; cond; update — update is an assignment or call, no ';' *)
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Ssync of expr * block
+  | Sassert of expr
+  | Sthrow of string
+  | Sspawn of id * expr * id * expr list (* thread t = spawn recv.m(args) *)
+  | Sjoin of expr
+
+and block = stmt list
+
+type method_decl = {
+  m_name : id;
+  m_static : bool;
+  m_sync : bool;
+  m_abstract : bool; (* interface method without a body *)
+  m_ret : ty;
+  m_params : (ty * id) list;
+  m_body : block;
+  m_pos : pos;
+}
+
+type field_decl = {
+  f_name : id;
+  f_static : bool;
+  f_ty : ty;
+  f_init : expr option;
+  f_pos : pos;
+}
+
+type class_kind = Kclass | Kinterface
+
+type class_decl = {
+  c_name : id;
+  c_kind : class_kind;
+  c_super : id option;
+  c_impls : id list;
+  c_fields : field_decl list;
+  c_methods : method_decl list;
+  c_pos : pos;
+}
+
+type program = class_decl list
+
+(* Name used internally for constructors. *)
+let ctor_name = "<init>"
+
+let is_ctor (m : method_decl) = String.equal m.m_name ctor_name
+
+let mk_expr ?(pos = dummy_pos) desc = { desc; pos }
+let mk_stmt ?(pos = dummy_pos) sdesc = { sdesc; spos = pos }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let unop_to_string = function Not -> "!" | Neg -> "-"

@@ -1,0 +1,16 @@
+(* Diagnostics shared by the Jir front-end: a single exception type
+   carrying a source position and message, raised by the lexer, parser
+   and type checker. *)
+
+type error = { pos : Ast.pos; msg : string }
+
+exception Error of error
+
+let error ?(pos = Ast.dummy_pos) fmt =
+  Format.kasprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+let to_string { pos; msg } =
+  if pos.Ast.line = 0 then msg
+  else Format.asprintf "%a: %s" Ast.pp_pos pos msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

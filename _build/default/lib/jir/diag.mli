@@ -1,0 +1,11 @@
+(** Diagnostics shared by the Jir front-end (lexer, parser, type checker). *)
+
+type error = { pos : Ast.pos; msg : string }
+
+exception Error of error
+
+val error : ?pos:Ast.pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~pos fmt ...] raises {!Error} with a formatted message. *)
+
+val to_string : error -> string
+val pp : Format.formatter -> error -> unit

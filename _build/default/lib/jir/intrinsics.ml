@@ -1,0 +1,55 @@
+(* Intrinsic operations exposed through the reserved pseudo-class [Sys].
+   These stand in for the small slice of the Java platform library that
+   the benchmark classes need (java.lang.System/Math/String). *)
+
+open Ast
+
+type t =
+  | Rand_int (* Sys.randInt(bound): uniform in [0, bound) *)
+  | Print (* Sys.print(x): debug output *)
+  | Arraycopy (* Sys.arraycopy(src, srcPos, dst, dstPos, len) *)
+  | Abs
+  | Min
+  | Max
+  | Str_len (* Sys.strlen(s) *)
+  | Char_at (* Sys.charAt(s, i): character code, or -1 past the end *)
+  | Concat (* Sys.concat(a, b) *)
+
+let name = function
+  | Rand_int -> "randInt"
+  | Print -> "print"
+  | Arraycopy -> "arraycopy"
+  | Abs -> "abs"
+  | Min -> "min"
+  | Max -> "max"
+  | Str_len -> "strlen"
+  | Char_at -> "charAt"
+  | Concat -> "concat"
+
+let all =
+  [ Rand_int; Print; Arraycopy; Abs; Min; Max; Str_len; Char_at; Concat ]
+
+let of_name n = List.find_opt (fun i -> String.equal (name i) n) all
+
+(* Check argument types and give the return type.  [Print] accepts any
+   single argument; [Arraycopy] requires two arrays with equal element
+   types. *)
+let check ~pos intr (arg_tys : ty list) : ty =
+  let fail () =
+    Diag.error ~pos "bad arguments to Sys.%s(%s)" (name intr)
+      (String.concat ", " (List.map ty_to_string arg_tys))
+  in
+  match (intr, arg_tys) with
+  | Rand_int, [ Tint ] -> Tint
+  | Print, [ _ ] -> Tvoid
+  | Arraycopy, [ Tarray a; Tint; Tarray b; Tint; Tint ] when equal_ty a b ->
+    Tvoid
+  | Abs, [ Tint ] -> Tint
+  | (Min | Max), [ Tint; Tint ] -> Tint
+  | Str_len, [ Tstr ] -> Tint
+  | Char_at, [ Tstr; Tint ] -> Tint
+  | Concat, [ Tstr; Tstr ] -> Tstr
+  | ( ( Rand_int | Print | Arraycopy | Abs | Min | Max | Str_len | Char_at
+      | Concat ),
+      _ ) ->
+    fail ()

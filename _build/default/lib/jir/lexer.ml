@@ -1,0 +1,311 @@
+(* Hand-written lexer for Jir.  Produces the full token stream up front;
+   the recursive-descent parser then walks the resulting array.  Comments
+   are Java style: [//] to end of line and [/* ... */] (non-nesting). *)
+
+open Ast
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_CLASS
+  | KW_INTERFACE
+  | KW_EXTENDS
+  | KW_IMPLEMENTS
+  | KW_STATIC
+  | KW_SYNCHRONIZED
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_NEW
+  | KW_NULL
+  | KW_THIS
+  | KW_TRUE
+  | KW_FALSE
+  | KW_INT
+  | KW_BOOL
+  | KW_STR
+  | KW_VOID
+  | KW_THREAD
+  | KW_SPAWN
+  | KW_JOIN
+  | KW_ASSERT
+  | KW_THROW
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  (* operators *)
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_CLASS -> "class"
+  | KW_INTERFACE -> "interface"
+  | KW_EXTENDS -> "extends"
+  | KW_IMPLEMENTS -> "implements"
+  | KW_STATIC -> "static"
+  | KW_SYNCHRONIZED -> "synchronized"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_RETURN -> "return"
+  | KW_NEW -> "new"
+  | KW_NULL -> "null"
+  | KW_THIS -> "this"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_INT -> "int"
+  | KW_BOOL -> "bool"
+  | KW_STR -> "str"
+  | KW_VOID -> "void"
+  | KW_THREAD -> "thread"
+  | KW_SPAWN -> "spawn"
+  | KW_JOIN -> "join"
+  | KW_ASSERT -> "assert"
+  | KW_THROW -> "throw"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+let keyword_table =
+  [
+    ("class", KW_CLASS);
+    ("interface", KW_INTERFACE);
+    ("extends", KW_EXTENDS);
+    ("implements", KW_IMPLEMENTS);
+    ("static", KW_STATIC);
+    ("synchronized", KW_SYNCHRONIZED);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("while", KW_WHILE);
+    ("for", KW_FOR);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+    ("return", KW_RETURN);
+    ("new", KW_NEW);
+    ("null", KW_NULL);
+    ("this", KW_THIS);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+    ("int", KW_INT);
+    ("bool", KW_BOOL);
+    ("str", KW_STR);
+    ("void", KW_VOID);
+    ("thread", KW_THREAD);
+    ("spawn", KW_SPAWN);
+    ("join", KW_JOIN);
+    ("assert", KW_ASSERT);
+    ("throw", KW_THROW);
+  ]
+
+type lexed = { tok : token; tpos : pos }
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let current_pos st = { line = st.line; col = st.off - st.bol }
+
+let peek_char st =
+  if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.off + 1
+  | Some _ | None -> ());
+  st.off <- st.off + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws_and_comments st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_and_comments st
+  | Some '/' when st.off + 1 < String.length st.src -> (
+    match st.src.[st.off + 1] with
+    | '/' ->
+      while peek_char st <> None && peek_char st <> Some '\n' do
+        advance st
+      done;
+      skip_ws_and_comments st
+    | '*' ->
+      let start = current_pos st in
+      advance st;
+      advance st;
+      let rec loop () =
+        match peek_char st with
+        | None -> Diag.error ~pos:start "unterminated comment"
+        | Some '*' when st.off + 1 < String.length st.src && st.src.[st.off + 1] = '/'
+          ->
+          advance st;
+          advance st
+        | Some _ ->
+          advance st;
+          loop ()
+      in
+      loop ();
+      skip_ws_and_comments st
+    | _ -> ())
+  | Some _ | None -> ()
+
+let lex_string st =
+  let start = current_pos st in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek_char st with
+    | None -> Diag.error ~pos:start "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek_char st with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some c -> Diag.error ~pos:(current_pos st) "bad escape '\\%c'" c
+      | None -> Diag.error ~pos:start "unterminated string literal");
+      advance st;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  STRING (Buffer.contents buf)
+
+let next_token st =
+  skip_ws_and_comments st;
+  let pos = current_pos st in
+  let tok =
+    match peek_char st with
+    | None -> EOF
+    | Some c when is_digit c ->
+      let start = st.off in
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      INT (int_of_string (String.sub st.src start (st.off - start)))
+    | Some c when is_ident_start c ->
+      let start = st.off in
+      while
+        match peek_char st with Some c -> is_ident_char c | None -> false
+      do
+        advance st
+      done;
+      let word = String.sub st.src start (st.off - start) in
+      (match List.assoc_opt word keyword_table with
+      | Some kw -> kw
+      | None -> IDENT word)
+    | Some '"' -> lex_string st
+    | Some c ->
+      let two_char t =
+        advance st;
+        advance st;
+        t
+      in
+      let one_char t =
+        advance st;
+        t
+      in
+      let next = if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None in
+      (match (c, next) with
+      | '<', Some '=' -> two_char LE
+      | '>', Some '=' -> two_char GE
+      | '=', Some '=' -> two_char EQEQ
+      | '!', Some '=' -> two_char NEQ
+      | '&', Some '&' -> two_char ANDAND
+      | '|', Some '|' -> two_char OROR
+      | '(', _ -> one_char LPAREN
+      | ')', _ -> one_char RPAREN
+      | '{', _ -> one_char LBRACE
+      | '}', _ -> one_char RBRACE
+      | '[', _ -> one_char LBRACKET
+      | ']', _ -> one_char RBRACKET
+      | ';', _ -> one_char SEMI
+      | ',', _ -> one_char COMMA
+      | '.', _ -> one_char DOT
+      | '=', _ -> one_char ASSIGN
+      | '+', _ -> one_char PLUS
+      | '-', _ -> one_char MINUS
+      | '*', _ -> one_char STAR
+      | '/', _ -> one_char SLASH
+      | '%', _ -> one_char PERCENT
+      | '<', _ -> one_char LT
+      | '>', _ -> one_char GT
+      | '!', _ -> one_char BANG
+      | _ -> Diag.error ~pos "unexpected character '%c'" c)
+  in
+  { tok; tpos = pos }
+
+let tokenize src =
+  let st = { src; off = 0; line = 1; bol = 0 } in
+  let rec loop acc =
+    let t = next_token st in
+    if t.tok = EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  Array.of_list (loop [])

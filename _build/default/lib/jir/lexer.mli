@@ -1,0 +1,71 @@
+(** Hand-written lexer for Jir.
+
+    [tokenize] produces the whole token stream up front (terminated by
+    {!EOF}); the recursive-descent parser walks the resulting array.
+    Lexical errors raise {!Diag.Error}. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_CLASS
+  | KW_INTERFACE
+  | KW_EXTENDS
+  | KW_IMPLEMENTS
+  | KW_STATIC
+  | KW_SYNCHRONIZED
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_NEW
+  | KW_NULL
+  | KW_THIS
+  | KW_TRUE
+  | KW_FALSE
+  | KW_INT
+  | KW_BOOL
+  | KW_STR
+  | KW_VOID
+  | KW_THREAD
+  | KW_SPAWN
+  | KW_JOIN
+  | KW_ASSERT
+  | KW_THROW
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val token_to_string : token -> string
+
+(** A token paired with the position of its first character. *)
+type lexed = { tok : token; tpos : Ast.pos }
+
+val tokenize : string -> lexed array
+(** Lex a complete source string.  The result always ends with {!EOF}.
+    @raise Diag.Error on lexical errors. *)

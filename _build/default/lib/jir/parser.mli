@@ -1,0 +1,16 @@
+(** Recursive-descent parser for Jir.
+
+    The grammar follows Java closely, with one convention: identifiers
+    beginning with an uppercase letter denote class/interface names and
+    everything else denotes variables, fields and methods.  All entry
+    points raise {!Diag.Error} on syntax errors. *)
+
+val parse_program : string -> Ast.program
+(** Parse a complete compilation unit (a sequence of class and interface
+    declarations). *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (the whole string must be consumed). *)
+
+val parse_block_string : string -> Ast.block
+(** Parse a braced statement block (the whole string must be consumed). *)

@@ -1,0 +1,213 @@
+(* Class table: the validated, queryable form of a parsed Jir program.
+   Resolves inheritance (fields, virtual methods), subtyping, and static
+   members.  The pseudo-class [Sys] is reserved for intrinsics and is
+   handled by the type checker and compiler directly. *)
+
+open Ast
+
+type t = {
+  classes : (id, class_decl) Hashtbl.t;
+  order : id list; (* declaration order, for deterministic iteration *)
+}
+
+let sys_class = "Sys"
+
+let find_class t name = Hashtbl.find_opt t.classes name
+
+let find_class_exn t name =
+  match find_class t name with
+  | Some c -> c
+  | None -> Diag.error "unknown class %s" name
+
+let classes t = List.map (fun n -> find_class_exn t n) t.order
+
+(* Walk the superclass chain starting at [name] (inclusive). *)
+let rec super_chain t name acc =
+  match find_class t name with
+  | None -> Diag.error "unknown class %s" name
+  | Some c -> (
+    match c.c_super with
+    | None -> List.rev (c :: acc)
+    | Some s ->
+      if List.exists (fun (c' : class_decl) -> String.equal c'.c_name s) acc
+      then Diag.error ~pos:c.c_pos "inheritance cycle through %s" s
+      else super_chain t s (c :: acc))
+
+let ancestors t name = super_chain t name []
+
+let of_ast (prog : program) : t =
+  let classes = Hashtbl.create 17 in
+  List.iter
+    (fun (c : class_decl) ->
+      if Hashtbl.mem classes c.c_name then
+        Diag.error ~pos:c.c_pos "duplicate class %s" c.c_name;
+      if String.equal c.c_name sys_class then
+        Diag.error ~pos:c.c_pos "class name %s is reserved" sys_class;
+      Hashtbl.replace classes c.c_name c)
+    prog;
+  let t = { classes; order = List.map (fun c -> c.c_name) prog } in
+  (* Force cycle detection and reference checking now. *)
+  List.iter
+    (fun (c : class_decl) ->
+      ignore (ancestors t c.c_name);
+      List.iter
+        (fun i ->
+          match find_class t i with
+          | Some { c_kind = Kinterface; _ } -> ()
+          | Some { c_kind = Kclass; c_pos; _ } ->
+            Diag.error ~pos:c_pos "%s implements non-interface %s" c.c_name i
+          | None -> Diag.error ~pos:c.c_pos "unknown interface %s" i)
+        c.c_impls)
+    prog;
+  t
+
+(* All instance fields of [cls], superclass fields first.  Field names
+   must be unique along the chain (shadowing is rejected). *)
+let instance_fields t cls =
+  let chain = List.rev (ancestors t cls) in
+  let seen = Hashtbl.create 7 in
+  List.concat_map
+    (fun (c : class_decl) ->
+      List.filter
+        (fun f ->
+          if f.f_static then false
+          else if Hashtbl.mem seen f.f_name then
+            Diag.error ~pos:f.f_pos "field %s shadows an inherited field" f.f_name
+          else (
+            Hashtbl.replace seen f.f_name ();
+            true))
+        c.c_fields)
+    chain
+
+let find_instance_field t cls fname =
+  List.find_opt (fun f -> String.equal f.f_name fname) (instance_fields t cls)
+
+let find_static_field t cls fname =
+  match find_class t cls with
+  | None -> None
+  | Some c ->
+    List.find_opt
+      (fun f -> f.f_static && String.equal f.f_name fname)
+      c.c_fields
+
+(* Resolve a virtual method: search [cls] then its superclasses.  Returns
+   the defining class and declaration. *)
+let resolve_method t cls mname =
+  let rec search = function
+    | [] -> None
+    | (c : class_decl) :: rest -> (
+      match
+        List.find_opt
+          (fun m -> (not m.m_static) && String.equal m.m_name mname)
+          c.c_methods
+      with
+      | Some m -> Some (c.c_name, m)
+      | None -> search rest)
+  in
+  search (ancestors t cls)
+
+(* Resolve a method against an interface (signature only), searching the
+   interface and the interfaces it extends. *)
+let resolve_interface_method t iface mname =
+  let rec search seen name =
+    if List.mem name seen then None
+    else
+      match find_class t name with
+      | None -> None
+      | Some c -> (
+        match
+          List.find_opt (fun m -> String.equal m.m_name mname) c.c_methods
+        with
+        | Some m -> Some (name, m)
+        | None -> (
+          let seen = name :: seen in
+          let try_parents parents =
+            List.fold_left
+              (fun acc p -> match acc with Some _ -> acc | None -> search seen p)
+              None parents
+          in
+          match c.c_super with
+          | Some s -> (
+            match search seen s with
+            | Some r -> Some r
+            | None -> try_parents c.c_impls)
+          | None -> try_parents c.c_impls))
+  in
+  search [] iface
+
+let resolve_static_method t cls mname =
+  match find_class t cls with
+  | None -> None
+  | Some c ->
+    List.find_opt
+      (fun m -> m.m_static && String.equal m.m_name mname)
+      c.c_methods
+
+let find_ctor t cls ~arity =
+  match find_class t cls with
+  | None -> None
+  | Some c ->
+    List.find_opt
+      (fun m -> is_ctor m && List.length m.m_params = arity)
+      c.c_methods
+
+(* All interfaces transitively implemented by [cls] (via implements
+   clauses along the superclass chain, and interface extension). *)
+let implemented_interfaces t cls =
+  let out = ref [] in
+  let rec add_iface name =
+    if not (List.mem name !out) then (
+      out := name :: !out;
+      match find_class t name with
+      | Some c ->
+        (match c.c_super with Some s -> add_iface s | None -> ());
+        List.iter add_iface c.c_impls
+      | None -> ())
+  in
+  List.iter
+    (fun (c : class_decl) -> List.iter add_iface c.c_impls)
+    (ancestors t cls);
+  !out
+
+(* Subtyping: reflexive; class-to-superclass; class-to-implemented
+   interface; Tnull is handled by the checker, not here. *)
+let is_subtype t sub sup =
+  match (sub, sup) with
+  | a, b when equal_ty a b -> true
+  | Tclass c1, Tclass c2 -> (
+    match find_class t c1 with
+    | None -> false
+    | Some _ ->
+      List.exists
+        (fun (a : class_decl) -> String.equal a.c_name c2)
+        (ancestors t c1)
+      || List.mem c2 (implemented_interfaces t c1))
+  | Tarray a, Tarray b -> equal_ty a b
+  | (Tint | Tbool | Tstr | Tvoid | Tthread | Tclass _ | Tarray _), _ -> false
+
+let is_interface t name =
+  match find_class t name with
+  | Some { c_kind = Kinterface; _ } -> true
+  | Some { c_kind = Kclass; _ } | None -> false
+
+(* Concrete (non-abstract, non-constructor) public methods of a class,
+   including inherited ones; used for corpus statistics and the ConTeGe
+   baseline. *)
+let concrete_methods t cls =
+  let seen = Hashtbl.create 7 in
+  List.concat_map
+    (fun (c : class_decl) ->
+      List.filter_map
+        (fun m ->
+          if m.m_abstract || m.m_static || is_ctor m then None
+          else if Hashtbl.mem seen m.m_name then None
+          else (
+            Hashtbl.replace seen m.m_name ();
+            Some (c.c_name, m)))
+        c.c_methods)
+    (ancestors t cls)
+
+let constructors t cls =
+  match find_class t cls with
+  | None -> []
+  | Some c -> List.filter is_ctor c.c_methods

@@ -1,0 +1,53 @@
+(** Class table: the validated, queryable form of a parsed Jir program.
+
+    Provides inheritance-aware lookups (instance fields, virtual method
+    resolution, constructors), interface resolution and subtyping.  The
+    pseudo-class [Sys] is reserved for intrinsics. *)
+
+type t
+
+val sys_class : Ast.id
+(** Reserved class name used for intrinsics ([Sys.rand()], etc.). *)
+
+val of_ast : Ast.program -> t
+(** Build a class table.  Rejects duplicate classes, inheritance cycles,
+    field shadowing (on first field query), uses of the reserved name.
+    @raise Diag.Error on any of these. *)
+
+val find_class : t -> Ast.id -> Ast.class_decl option
+val find_class_exn : t -> Ast.id -> Ast.class_decl
+val classes : t -> Ast.class_decl list
+(** All classes in declaration order. *)
+
+val ancestors : t -> Ast.id -> Ast.class_decl list
+(** Superclass chain starting at the class itself. *)
+
+val instance_fields : t -> Ast.id -> Ast.field_decl list
+(** All instance fields, superclass fields first.
+    @raise Diag.Error if a field shadows an inherited one. *)
+
+val find_instance_field : t -> Ast.id -> Ast.id -> Ast.field_decl option
+val find_static_field : t -> Ast.id -> Ast.id -> Ast.field_decl option
+
+val resolve_method : t -> Ast.id -> Ast.id -> (Ast.id * Ast.method_decl) option
+(** [resolve_method t cls m] finds the concrete virtual method [m]
+    starting at [cls]; returns the defining class and declaration. *)
+
+val resolve_interface_method :
+  t -> Ast.id -> Ast.id -> (Ast.id * Ast.method_decl) option
+(** Signature lookup through an interface hierarchy. *)
+
+val resolve_static_method : t -> Ast.id -> Ast.id -> Ast.method_decl option
+val find_ctor : t -> Ast.id -> arity:int -> Ast.method_decl option
+
+val implemented_interfaces : t -> Ast.id -> Ast.id list
+(** Interfaces transitively implemented by a class. *)
+
+val is_subtype : t -> Ast.ty -> Ast.ty -> bool
+val is_interface : t -> Ast.id -> bool
+
+val concrete_methods : t -> Ast.id -> (Ast.id * Ast.method_decl) list
+(** Concrete non-static public methods of a class including inherited
+    ones, with their defining class. *)
+
+val constructors : t -> Ast.id -> Ast.method_decl list

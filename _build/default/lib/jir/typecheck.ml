@@ -1,0 +1,381 @@
+(* Type checker for Jir.  Checks a parsed program against the class
+   table and infers expression types; the compiler reuses [type_of_expr]
+   when lowering, so typing logic lives in exactly one place.
+
+   Scoping is simple: one flat scope per method (declaring the same
+   local twice anywhere in a method is an error) — Jir sources follow
+   this restriction. *)
+
+open Ast
+
+type env = {
+  prog : Program.t;
+  cls : id; (* enclosing class *)
+  meth : method_decl;
+  locals : (id, ty) Hashtbl.t;
+  mutable loop_depth : int; (* for break/continue placement checks *)
+}
+
+let is_ref_ty = function
+  | Tclass _ | Tarray _ | Tstr -> true
+  | Tint | Tbool | Tvoid | Tthread -> false
+
+(* [assignable env ~src ~dst]: may a value of type [src] be stored where
+   [dst] is expected?  [Tvoid] encodes the type of [null] here. *)
+let assignable env ~src ~dst =
+  match (src, dst) with
+  | Tvoid, (Tclass _ | Tarray _ | Tstr) -> true (* null literal *)
+  | s, d -> Program.is_subtype env.prog s d
+
+let rec type_of_expr env (e : expr) : ty =
+  let pos = e.pos in
+  match e.desc with
+  | Eint _ -> Tint
+  | Ebool _ -> Tbool
+  | Estr _ -> Tstr
+  | Enull -> Tvoid (* the bottom-ish type of the null literal *)
+  | Ethis ->
+    if env.meth.m_static then Diag.error ~pos "'this' used in a static method"
+    else Tclass env.cls
+  | Evar x -> (
+    match Hashtbl.find_opt env.locals x with
+    | Some t -> t
+    | None -> Diag.error ~pos "unbound variable %s" x)
+  | Efield (o, f) -> (
+    match type_of_expr env o with
+    | Tarray _ when String.equal f "length" -> Tint
+    | Tclass c -> (
+      match Program.find_instance_field env.prog c f with
+      | Some fd -> fd.f_ty
+      | None -> Diag.error ~pos "class %s has no field %s" c f)
+    | t -> Diag.error ~pos "field access on non-object of type %s" (ty_to_string t))
+  | Estatic_field (c, f) ->
+    if String.equal c Program.sys_class then
+      Diag.error ~pos "Sys has no fields"
+    else (
+      ignore (Program.find_class_exn env.prog c);
+      match Program.find_static_field env.prog c f with
+      | Some fd -> fd.f_ty
+      | None -> Diag.error ~pos "class %s has no static field %s" c f)
+  | Eindex (a, i) -> (
+    check_expr env i Tint;
+    match type_of_expr env a with
+    | Tarray t -> t
+    | t -> Diag.error ~pos "indexing a non-array of type %s" (ty_to_string t))
+  | Ecall (o, m, args) -> (
+    match type_of_expr env o with
+    | Tclass c -> (
+      let resolved =
+        if Program.is_interface env.prog c then
+          Program.resolve_interface_method env.prog c m
+        else Program.resolve_method env.prog c m
+      in
+      match resolved with
+      | Some (_, md) ->
+        check_args env ~pos ~what:(c ^ "." ^ m) md.m_params args;
+        md.m_ret
+      | None -> Diag.error ~pos "class %s has no method %s" c m)
+    | t -> Diag.error ~pos "method call on non-object of type %s" (ty_to_string t))
+  | Estatic_call (c, m, args) ->
+    if String.equal c Program.sys_class then (
+      match Intrinsics.of_name m with
+      | Some intr ->
+        let tys = List.map (type_of_expr env) args in
+        Intrinsics.check ~pos intr tys
+      | None -> Diag.error ~pos "unknown intrinsic Sys.%s" m)
+    else (
+      ignore (Program.find_class_exn env.prog c);
+      match Program.resolve_static_method env.prog c m with
+      | Some md ->
+        check_args env ~pos ~what:(c ^ "." ^ m) md.m_params args;
+        md.m_ret
+      | None -> Diag.error ~pos "class %s has no static method %s" c m)
+  | Enew (c, args) -> (
+    match Program.find_class env.prog c with
+    | None -> Diag.error ~pos "unknown class %s" c
+    | Some { c_kind = Kinterface; _ } ->
+      Diag.error ~pos "cannot instantiate interface %s" c
+    | Some _ -> (
+      match Program.find_ctor env.prog c ~arity:(List.length args) with
+      | Some md ->
+        check_args env ~pos ~what:("new " ^ c) md.m_params args;
+        Tclass c
+      | None ->
+        if args = [] && Program.constructors env.prog c = [] then Tclass c
+          (* implicit default constructor *)
+        else
+          Diag.error ~pos "no constructor of %s with %d argument(s)" c
+            (List.length args)))
+  | Enew_array (t, n) ->
+    check_expr env n Tint;
+    (match t with
+    | Tvoid | Tthread -> Diag.error ~pos "invalid array element type"
+    | Tint | Tbool | Tstr | Tclass _ | Tarray _ -> ());
+    Tarray t
+  | Ebinop (op, l, r) -> (
+    let tl = type_of_expr env l in
+    let tr = type_of_expr env r in
+    match op with
+    | Add | Sub | Mul | Div | Mod ->
+      require ~pos tl Tint;
+      require ~pos tr Tint;
+      Tint
+    | Lt | Le | Gt | Ge ->
+      require ~pos tl Tint;
+      require ~pos tr Tint;
+      Tbool
+    | And | Or ->
+      require ~pos tl Tbool;
+      require ~pos tr Tbool;
+      Tbool
+    | Eq | Ne ->
+      let compatible =
+        equal_ty tl tr
+        || (is_ref_ty tl && tr = Tvoid)
+        || (tl = Tvoid && is_ref_ty tr)
+        || (tl = Tvoid && tr = Tvoid)
+        || (is_ref_ty tl && is_ref_ty tr
+           && (Program.is_subtype env.prog tl tr
+              || Program.is_subtype env.prog tr tl))
+      in
+      if not compatible then
+        Diag.error ~pos "cannot compare %s with %s" (ty_to_string tl)
+          (ty_to_string tr);
+      Tbool)
+  | Eunop (Not, x) ->
+    check_expr env x Tbool;
+    Tbool
+  | Eunop (Neg, x) ->
+    check_expr env x Tint;
+    Tint
+
+and require ~pos actual expected =
+  if not (equal_ty actual expected) then
+    Diag.error ~pos "expected %s but found %s" (ty_to_string expected)
+      (ty_to_string actual)
+
+and check_expr env e expected =
+  let t = type_of_expr env e in
+  if not (assignable env ~src:t ~dst:expected) then
+    Diag.error ~pos:e.pos "expected %s but found %s" (ty_to_string expected)
+      (ty_to_string t)
+
+and check_args env ~pos ~what params args =
+  if List.length params <> List.length args then
+    Diag.error ~pos "%s expects %d argument(s), got %d" what
+      (List.length params) (List.length args);
+  List.iter2 (fun (t, _) a -> check_expr env a t) params args
+
+let rec check_stmt env (s : stmt) =
+  let pos = s.spos in
+  match s.sdesc with
+  | Sdecl (t, x, init) ->
+    (match t with
+    | Tvoid -> Diag.error ~pos "variable %s cannot have type void" x
+    | Tint | Tbool | Tstr | Tthread | Tclass _ | Tarray _ -> ());
+    (match t with
+    | Tclass c -> ignore (Program.find_class_exn env.prog c)
+    | Tint | Tbool | Tstr | Tvoid | Tthread | Tarray _ -> ());
+    if Hashtbl.mem env.locals x then
+      Diag.error ~pos "variable %s is already declared" x;
+    (match init with Some e -> check_expr env e t | None -> ());
+    Hashtbl.replace env.locals x t
+  | Sassign (lv, e) -> (
+    match lv with
+    | Lvar x -> (
+      match Hashtbl.find_opt env.locals x with
+      | Some t -> check_expr env e t
+      | None -> Diag.error ~pos "unbound variable %s" x)
+    | Lfield (o, f) -> (
+      match type_of_expr env o with
+      | Tclass c -> (
+        match Program.find_instance_field env.prog c f with
+        | Some fd -> check_expr env e fd.f_ty
+        | None -> Diag.error ~pos "class %s has no field %s" c f)
+      | t ->
+        Diag.error ~pos "field assignment on non-object of type %s"
+          (ty_to_string t))
+    | Lstatic (c, f) -> (
+      match Program.find_static_field env.prog c f with
+      | Some fd -> check_expr env e fd.f_ty
+      | None -> Diag.error ~pos "class %s has no static field %s" c f)
+    | Lindex (a, i) -> (
+      check_expr env i Tint;
+      match type_of_expr env a with
+      | Tarray t -> check_expr env e t
+      | t -> Diag.error ~pos "indexing a non-array of type %s" (ty_to_string t)))
+  | Sexpr e -> ignore (type_of_expr env e)
+  | Sif (c, th, el) ->
+    check_expr env c Tbool;
+    List.iter (check_stmt env) th;
+    List.iter (check_stmt env) el
+  | Swhile (c, body) ->
+    check_expr env c Tbool;
+    env.loop_depth <- env.loop_depth + 1;
+    List.iter (check_stmt env) body;
+    env.loop_depth <- env.loop_depth - 1
+  | Sfor (init, cond, update, body) ->
+    (match init with Some s -> check_stmt env s | None -> ());
+    (match cond with Some c -> check_expr env c Tbool | None -> ());
+    (match update with
+    | Some ({ sdesc = Sassign _ | Sexpr _; _ } as s) -> check_stmt env s
+    | Some s -> Diag.error ~pos:s.spos "for-update must be an assignment or call"
+    | None -> ());
+    env.loop_depth <- env.loop_depth + 1;
+    List.iter (check_stmt env) body;
+    env.loop_depth <- env.loop_depth - 1
+  | Sbreak ->
+    if env.loop_depth = 0 then Diag.error ~pos "break outside a loop"
+  | Scontinue ->
+    if env.loop_depth = 0 then Diag.error ~pos "continue outside a loop" 
+  | Sreturn None ->
+    if not (equal_ty env.meth.m_ret Tvoid) then
+      Diag.error ~pos "missing return value in non-void method"
+  | Sreturn (Some e) ->
+    if equal_ty env.meth.m_ret Tvoid then
+      Diag.error ~pos "void method returns a value"
+    else check_expr env e env.meth.m_ret
+  | Ssync (e, body) ->
+    (match type_of_expr env e with
+    | Tclass _ | Tarray _ -> ()
+    | t -> Diag.error ~pos "cannot synchronize on type %s" (ty_to_string t));
+    List.iter (check_stmt env) body
+  | Sassert e -> check_expr env e Tbool
+  | Sthrow _ -> ()
+  | Sspawn (x, recv, m, args) ->
+    if Hashtbl.mem env.locals x then
+      Diag.error ~pos "variable %s is already declared" x;
+    (match type_of_expr env recv with
+    | Tclass c -> (
+      let resolved =
+        if Program.is_interface env.prog c then
+          Program.resolve_interface_method env.prog c m
+        else Program.resolve_method env.prog c m
+      in
+      match resolved with
+      | Some (_, md) -> check_args env ~pos ~what:(c ^ "." ^ m) md.m_params args
+      | None -> Diag.error ~pos "class %s has no method %s" c m)
+    | t -> Diag.error ~pos "spawn target is not an object (%s)" (ty_to_string t));
+    Hashtbl.replace env.locals x Tthread
+  | Sjoin e -> check_expr env e Tthread
+
+(* Conservative "all paths return" analysis, used to reject non-void
+   methods that can fall off the end. *)
+let rec block_returns (b : block) =
+  match b with
+  | [] -> false
+  | [ s ] -> stmt_returns s
+  | _ :: rest -> block_returns rest
+
+and stmt_returns (s : stmt) =
+  match s.sdesc with
+  | Sreturn _ | Sthrow _ -> true
+  | Sif (_, th, el) -> block_returns th && block_returns el
+  | Ssync (_, body) -> block_returns body
+  | Sdecl _ | Sassign _ | Sexpr _ | Swhile _ | Sfor _ | Sbreak | Scontinue
+  | Sassert _ | Sspawn _ | Sjoin _ ->
+    false
+
+let check_method prog cls (m : method_decl) =
+  if m.m_abstract then ()
+  else begin
+    let locals = Hashtbl.create 7 in
+    List.iter
+      (fun (t, x) ->
+        if Hashtbl.mem locals x then
+          Diag.error ~pos:m.m_pos "duplicate parameter %s" x;
+        Hashtbl.replace locals x t)
+      m.m_params;
+    let env = { prog; cls; meth = m; locals; loop_depth = 0 } in
+    List.iter (check_stmt env) m.m_body;
+    if (not (equal_ty m.m_ret Tvoid)) && not (block_returns m.m_body) then
+      Diag.error ~pos:m.m_pos "method %s.%s may not return a value on all paths"
+        cls m.m_name
+  end
+
+(* Every class type mentioned in a declaration must resolve. *)
+let rec check_ty_resolves prog ~pos t =
+  match t with
+  | Tclass c -> ignore (Program.find_class_exn prog c)
+  | Tarray t -> check_ty_resolves prog ~pos t
+  | Tint | Tbool | Tstr | Tvoid | Tthread -> ()
+
+let check_class prog (c : class_decl) =
+  List.iter
+    (fun (f : field_decl) -> check_ty_resolves prog ~pos:f.f_pos f.f_ty)
+    c.c_fields;
+  List.iter
+    (fun (m : method_decl) ->
+      check_ty_resolves prog ~pos:m.m_pos m.m_ret;
+      List.iter (fun (t, _) -> check_ty_resolves prog ~pos:m.m_pos t) m.m_params)
+    c.c_methods;
+  (match c.c_super with
+  | Some s -> (
+    match Program.find_class prog s with
+    | Some { c_kind = Kclass; _ } -> ()
+    | Some { c_kind = Kinterface; _ } ->
+      Diag.error ~pos:c.c_pos "%s extends an interface" c.c_name
+    | None -> Diag.error ~pos:c.c_pos "unknown superclass %s" s)
+  | None -> ());
+  (match c.c_kind with
+  | Kinterface ->
+    List.iter
+      (fun (m : method_decl) ->
+        if not m.m_abstract then
+          Diag.error ~pos:m.m_pos "interface method %s has a body" m.m_name;
+        if m.m_static then
+          Diag.error ~pos:m.m_pos "interface method %s cannot be static" m.m_name)
+      c.c_methods;
+    if c.c_fields <> [] then
+      Diag.error ~pos:c.c_pos "interface %s declares fields" c.c_name
+  | Kclass ->
+    List.iter
+      (fun (m : method_decl) ->
+        if m.m_abstract then
+          Diag.error ~pos:m.m_pos "class method %s.%s has no body" c.c_name
+            m.m_name)
+      c.c_methods);
+  ignore (Program.instance_fields prog c.c_name);
+  (* Field initializers are checked in a constructor-like environment. *)
+  let init_env_method =
+    {
+      m_name = "<clinit-check>";
+      m_static = false;
+      m_sync = false;
+      m_abstract = false;
+      m_ret = Tvoid;
+      m_params = [];
+      m_body = [];
+      m_pos = c.c_pos;
+    }
+  in
+  List.iter
+    (fun (f : field_decl) ->
+      match f.f_init with
+      | None -> ()
+      | Some e ->
+        let env =
+          {
+            prog;
+            cls = c.c_name;
+            meth = init_env_method;
+            locals = Hashtbl.create 1;
+            loop_depth = 0;
+          }
+        in
+        let t = type_of_expr env e in
+        if not (assignable env ~src:t ~dst:f.f_ty) then
+          Diag.error ~pos:f.f_pos "initializer of %s.%s has type %s, expected %s"
+            c.c_name f.f_name (ty_to_string t) (ty_to_string f.f_ty))
+    c.c_fields;
+  List.iter (check_method prog c.c_name) c.c_methods
+
+(* Check a whole program and return its class table. *)
+let check_program (ast : program) : Program.t =
+  let prog = Program.of_ast ast in
+  List.iter (check_class prog) (Program.classes prog);
+  prog
+
+(* Helper for clients (the compiler) that need expression types. *)
+let make_env prog ~cls ~meth ~locals =
+  { prog; cls; meth; locals; loop_depth = 0 }

@@ -1,0 +1,1 @@
+lib/runtime/event.ml: Format Int Jir List Printf String Value

@@ -1,0 +1,1 @@
+lib/runtime/heap.ml: Array Format Hashtbl Jir List String Value

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Code Diag Jir Machine String Trace Value

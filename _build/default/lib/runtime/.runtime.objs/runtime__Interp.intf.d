@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Jir Machine Trace Value

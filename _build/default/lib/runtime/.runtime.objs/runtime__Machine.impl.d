@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Array Ast Buffer Char Code Event Format Hashtbl Heap Int Int64 Intrinsics Jir List Printf Program String Value

@@ -1,0 +1,1 @@
+lib/runtime/snapshot.ml: Array Buffer Hashtbl Heap Int List Printf String Value

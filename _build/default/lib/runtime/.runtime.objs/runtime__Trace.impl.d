@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Array Event Format Jir List Machine Value

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Bool Format Int Jir String

@@ -1,0 +1,145 @@
+(* The mutable heap of the Jir virtual machine: objects, arrays,
+   per-class pseudo-objects holding static fields, and the reentrant
+   monitor attached to every heap cell. *)
+
+type obj_kind =
+  | Kobject of { cls : Jir.Ast.id; fields : (Jir.Ast.id, Value.t) Hashtbl.t }
+  | Karray of { elt : Jir.Ast.ty; data : Value.t array }
+  | Kclassobj of { cls : Jir.Ast.id; fields : (Jir.Ast.id, Value.t) Hashtbl.t }
+
+type monitor = { mutable owner : Value.tid option; mutable depth : int }
+
+type cell = { addr : Value.addr; kind : obj_kind; monitor : monitor }
+
+type t = { mutable next : Value.addr; cells : (Value.addr, cell) Hashtbl.t }
+
+exception Fault of string
+(* Heap faults (null/bounds/type confusion) become thread crashes. *)
+
+let fault fmt = Format.kasprintf (fun m -> raise (Fault m)) fmt
+
+let create () = { next = 1; cells = Hashtbl.create 256 }
+
+let fresh_monitor () = { owner = None; depth = 0 }
+
+let cell t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some c -> c
+  | None -> fault "dangling address @%d" addr
+
+let alloc_object t ~cls ~(field_tys : (Jir.Ast.id * Jir.Ast.ty) list) =
+  let addr = t.next in
+  t.next <- addr + 1;
+  let fields = Hashtbl.create (max 4 (List.length field_tys)) in
+  List.iter (fun (f, ty) -> Hashtbl.replace fields f (Value.default_of_ty ty)) field_tys;
+  Hashtbl.replace t.cells addr
+    { addr; kind = Kobject { cls; fields }; monitor = fresh_monitor () };
+  addr
+
+let alloc_array t ~elt ~len =
+  if len < 0 then fault "negative array size %d" len;
+  let addr = t.next in
+  t.next <- addr + 1;
+  let data = Array.make len (Value.default_of_ty elt) in
+  Hashtbl.replace t.cells addr
+    { addr; kind = Karray { elt; data }; monitor = fresh_monitor () };
+  addr
+
+let alloc_classobj t ~cls ~(field_tys : (Jir.Ast.id * Jir.Ast.ty) list) =
+  let addr = t.next in
+  t.next <- addr + 1;
+  let fields = Hashtbl.create (max 4 (List.length field_tys)) in
+  List.iter (fun (f, ty) -> Hashtbl.replace fields f (Value.default_of_ty ty)) field_tys;
+  Hashtbl.replace t.cells addr
+    { addr; kind = Kclassobj { cls; fields }; monitor = fresh_monitor () };
+  addr
+
+let class_of t addr =
+  match (cell t addr).kind with
+  | Kobject { cls; _ } | Kclassobj { cls; _ } -> Some cls
+  | Karray _ -> None
+
+let is_array t addr =
+  match (cell t addr).kind with Karray _ -> true | Kobject _ | Kclassobj _ -> false
+
+let get_field t addr f =
+  match (cell t addr).kind with
+  | Kobject { fields; cls } | Kclassobj { fields; cls } -> (
+    match Hashtbl.find_opt fields f with
+    | Some v -> v
+    | None -> fault "object @%d of class %s has no field %s" addr cls f)
+  | Karray _ -> fault "field access %s on an array" f
+
+let set_field t addr f v =
+  match (cell t addr).kind with
+  | Kobject { fields; cls } | Kclassobj { fields; cls } ->
+    if not (Hashtbl.mem fields f) then
+      fault "object @%d of class %s has no field %s" addr cls f;
+    Hashtbl.replace fields f v
+  | Karray _ -> fault "field write %s on an array" f
+
+let field_names t addr =
+  match (cell t addr).kind with
+  | Kobject { fields; _ } | Kclassobj { fields; _ } ->
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) fields [])
+  | Karray _ -> []
+
+let array_len t addr =
+  match (cell t addr).kind with
+  | Karray { data; _ } -> Array.length data
+  | Kobject _ | Kclassobj _ -> fault "length of a non-array @%d" addr
+
+let array_get t addr i =
+  match (cell t addr).kind with
+  | Karray { data; _ } ->
+    if i < 0 || i >= Array.length data then
+      fault "index %d out of bounds for length %d" i (Array.length data)
+    else data.(i)
+  | Kobject _ | Kclassobj _ -> fault "indexing a non-array @%d" addr
+
+let array_set t addr i v =
+  match (cell t addr).kind with
+  | Karray { data; _ } ->
+    if i < 0 || i >= Array.length data then
+      fault "index %d out of bounds for length %d" i (Array.length data)
+    else data.(i) <- v
+  | Kobject _ | Kclassobj _ -> fault "indexing a non-array @%d" addr
+
+(* ---------------- monitors (reentrant) ---------------- *)
+
+let try_enter t addr ~tid =
+  let m = (cell t addr).monitor in
+  match m.owner with
+  | None ->
+    m.owner <- Some tid;
+    m.depth <- 1;
+    true
+  | Some o when o = tid ->
+    m.depth <- m.depth + 1;
+    true
+  | Some _ -> false
+
+let exit t addr ~tid =
+  let m = (cell t addr).monitor in
+  match m.owner with
+  | Some o when o = tid ->
+    m.depth <- m.depth - 1;
+    if m.depth = 0 then m.owner <- None
+  | Some _ | None -> fault "monitorexit on @%d by non-owner thread %d" addr tid
+
+let monitor_owner t addr = (cell t addr).monitor.owner
+
+let monitor_free_or_mine t addr ~tid =
+  match (cell t addr).monitor.owner with None -> true | Some o -> o = tid
+
+(* Force-release every monitor depth this thread holds on [addr]
+   (used when unwinding a crashed thread). *)
+let force_release t addr ~tid =
+  let m = (cell t addr).monitor in
+  match m.owner with
+  | Some o when o = tid ->
+    m.depth <- 0;
+    m.owner <- None
+  | Some _ | None -> ()
+
+let size t = Hashtbl.length t.cells

@@ -1,0 +1,53 @@
+(** The mutable heap of the Jir virtual machine: objects, arrays,
+    per-class pseudo-objects holding static fields, and the reentrant
+    monitor attached to every heap cell. *)
+
+type obj_kind =
+  | Kobject of { cls : Jir.Ast.id; fields : (Jir.Ast.id, Value.t) Hashtbl.t }
+  | Karray of { elt : Jir.Ast.ty; data : Value.t array }
+  | Kclassobj of { cls : Jir.Ast.id; fields : (Jir.Ast.id, Value.t) Hashtbl.t }
+
+type monitor = { mutable owner : Value.tid option; mutable depth : int }
+
+type cell = { addr : Value.addr; kind : obj_kind; monitor : monitor }
+
+type t
+
+exception Fault of string
+(** Heap faults (null dereference, bounds, type confusion); the machine
+    turns them into thread crashes. *)
+
+val create : unit -> t
+val cell : t -> Value.addr -> cell
+
+val alloc_object :
+  t -> cls:Jir.Ast.id -> field_tys:(Jir.Ast.id * Jir.Ast.ty) list -> Value.addr
+
+val alloc_array : t -> elt:Jir.Ast.ty -> len:int -> Value.addr
+
+val alloc_classobj :
+  t -> cls:Jir.Ast.id -> field_tys:(Jir.Ast.id * Jir.Ast.ty) list -> Value.addr
+
+val class_of : t -> Value.addr -> Jir.Ast.id option
+(** [None] for arrays. *)
+
+val is_array : t -> Value.addr -> bool
+val get_field : t -> Value.addr -> Jir.Ast.id -> Value.t
+val set_field : t -> Value.addr -> Jir.Ast.id -> Value.t -> unit
+
+val field_names : t -> Value.addr -> Jir.Ast.id list
+(** Sorted field names of an object ([[]] for arrays). *)
+
+val array_len : t -> Value.addr -> int
+val array_get : t -> Value.addr -> int -> Value.t
+val array_set : t -> Value.addr -> int -> Value.t -> unit
+
+val try_enter : t -> Value.addr -> tid:Value.tid -> bool
+(** Attempt to acquire (or re-enter) the monitor; [false] if held by
+    another thread. *)
+
+val exit : t -> Value.addr -> tid:Value.tid -> unit
+val monitor_owner : t -> Value.addr -> Value.tid option
+val monitor_free_or_mine : t -> Value.addr -> tid:Value.tid -> bool
+val force_release : t -> Value.addr -> tid:Value.tid -> unit
+val size : t -> int

@@ -1,0 +1,79 @@
+(* Sequential execution driver.
+
+   Runs seed tests to completion (recording traces for the Narada
+   analysis) and supports the paper's suspension mechanism (§3.4): run a
+   sequential test and suspend it just *before* a chosen client-level
+   library invocation so the object references about to be passed can be
+   collected and reused by a synthesized multithreaded test. *)
+
+open Jir
+
+let find_entry cu ~cls ~meth =
+  match Code.find_static cu cls meth with
+  | Some cm -> cm
+  | None -> Diag.error "no static entry point %s.%s" cls meth
+
+(* Run static method [cls.meth()] on a fresh machine; returns the
+   machine and the recorded trace. *)
+let record ?(seed = 42L) ?(fuel = Machine.default_fuel) (cu : Code.unit_)
+    ~client_classes ~cls ~meth : Machine.t * Trace.t * (Value.t option, string) result =
+  let m = Machine.create ~client_classes ~seed cu in
+  let rec_ = Trace.attach m in
+  let cm = find_entry cu ~cls ~meth in
+  let tid = Machine.new_thread m ~client:true ~cm ~recv:None ~args:[] () in
+  let res = Machine.run_thread_to_completion m tid ~fuel in
+  (m, Trace.snapshot rec_, res)
+
+(* Convenience used throughout tests: run [cls.main()]. *)
+let run_main ?(seed = 42L) (cu : Code.unit_) ~cls :
+    (Value.t option, string) result * string =
+  let m = Machine.create ~client_classes:[ cls ] ~seed cu in
+  let cm = find_entry cu ~cls ~meth:"main" in
+  let res = Machine.call m ~client:true ~cm ~recv:None ~args:[] () in
+  (res, Machine.output m)
+
+type captured = {
+  cap_meth : Code.meth; (* target about to be invoked *)
+  cap_recv : Value.t option;
+  cap_args : Value.t list;
+  cap_tid : Value.tid; (* the suspended thread *)
+}
+
+(* Start [cls.meth()] on [m] and run it until just before the [nth]
+   (0-based) client-level invocation of [target_qname]; leave the thread
+   suspended there.  Returns [None] if the test finishes without
+   reaching the invocation. *)
+let run_until_call ?(fuel = Machine.default_fuel) (m : Machine.t) ~cls ~meth
+    ~target_qname ~nth : captured option =
+  let cu = Machine.unit_of m in
+  let cm = find_entry cu ~cls ~meth in
+  let tid = Machine.new_thread m ~client:true ~cm ~recv:None ~args:[] () in
+  let count = ref 0 in
+  let rec loop n =
+    if n <= 0 then None
+    else
+      let is_client_caller =
+        match Machine.frames_of m tid with
+        | f :: _ -> Machine.is_client_frame m f
+        | [] -> true
+      in
+      match Machine.pending_call m tid with
+      | Some (target, recv, args)
+        when is_client_caller
+             && String.equal target.Code.cm_qname target_qname ->
+        if !count = nth then
+          Some { cap_meth = target; cap_recv = recv; cap_args = args; cap_tid = tid }
+        else (
+          incr count;
+          step_and_continue n)
+      | Some _ | None -> step_and_continue n
+  and step_and_continue n =
+    match Machine.step m tid with
+    | Machine.Stepped -> (
+      match Machine.status m tid with
+      | Machine.Finished _ | Machine.Crashed _ | Machine.Suspended -> None
+      | Machine.Runnable | Machine.Blocked_lock _ | Machine.Blocked_join _ ->
+        loop (n - 1))
+    | Machine.Blocked | Machine.Not_runnable -> None
+  in
+  loop fuel

@@ -1,0 +1,137 @@
+(** The Jir virtual machine.
+
+    Executes compiled {!Jir.Code} one instruction at a time so external
+    schedulers can interleave threads at every instruction (the
+    granularity RaceFuzzer-style directed scheduling needs).  Each
+    instruction emits {!Event.t}s to registered observers; a recorded
+    event sequence is exactly the trace language of the paper's §3.1.
+
+    The machine is fully deterministic given (program, seed, schedule):
+    [Sys.randInt] draws from a seeded splitmix64 stream and there is no
+    other hidden nondeterminism. *)
+
+type frame = {
+  fid : Event.frame_id;
+  meth : Jir.Code.meth;
+  regs : Value.t array;
+  mutable pc : int;
+  mutable entered : Value.addr list;
+  ret_dst : Jir.Code.reg option;
+}
+
+type status =
+  | Runnable
+  | Blocked_lock of Value.addr
+  | Blocked_join of Value.tid
+  | Suspended  (** frozen by the harness; never scheduled again *)
+  | Finished of Value.t option
+  | Crashed of string
+
+type t
+
+val create :
+  ?client_classes:Jir.Ast.id list -> ?seed:int64 -> Jir.Code.unit_ -> t
+(** Create a machine: allocates class objects (static-field holders) and
+    runs static initializers.  [client_classes] mark which classes count
+    as "client" for the client/library boundary flags on events. *)
+
+val add_observer : t -> (Event.t -> unit) -> unit
+
+val new_thread :
+  t ->
+  ?client:bool ->
+  cm:Jir.Code.meth ->
+  recv:Value.t option ->
+  args:Value.t list ->
+  unit ->
+  Value.tid
+(** Create a thread whose initial frame invokes [cm].  [client] says
+    whether the invocation should be treated as coming from client code
+    (default true, as harness-driven calls are client calls). *)
+
+val call :
+  t ->
+  ?client:bool ->
+  cm:Jir.Code.meth ->
+  recv:Value.t option ->
+  args:Value.t list ->
+  unit ->
+  (Value.t option, string) result
+(** Run a single invocation to completion on a fresh thread. *)
+
+type step_result = Stepped | Blocked | Not_runnable
+
+val step : t -> Value.tid -> step_result
+(** Execute one instruction of the given thread.  A crash (null
+    dereference, failed assertion, [throw], ...) unwinds the thread,
+    releases its monitors (emitting [Unlock] events) and marks it
+    [Crashed]; this counts as [Stepped]. *)
+
+val status : t -> Value.tid -> status
+val runnable : t -> Value.tid -> bool
+(** Can this thread make progress right now (including a blocked thread
+    whose monitor/join target has become available)? *)
+
+val runnable_tids : t -> Value.tid list
+val live_tids : t -> Value.tid list
+(** Threads that are neither finished nor crashed. *)
+
+val threads : t -> Value.tid list
+(** All threads ever created, in creation order. *)
+
+val peek : t -> Value.tid -> (Jir.Code.meth * int * Jir.Code.instr) option
+(** The instruction [step] would execute next. *)
+
+val pending_call :
+  t -> Value.tid -> (Jir.Code.meth * Value.t option * Value.t list) option
+(** If the next instruction is a method/constructor call, its resolved
+    target, receiver and argument values. *)
+
+val run_thread_to_completion :
+  t -> Value.tid -> fuel:int -> (Value.t option, string) result
+
+val default_fuel : int
+
+val output : t -> string
+(** Everything printed with [Sys.print] so far. *)
+
+val heap : t -> Heap.t
+val unit_of : t -> Jir.Code.unit_
+val frames_of : t -> Value.tid -> frame list
+val crash_reason : t -> Value.tid -> string option
+
+val is_client_frame : t -> frame -> bool
+(** Does this frame belong to a class marked as client code? *)
+
+val suspend : t -> Value.tid -> unit
+(** Freeze a thread permanently (the paper's suspension of seed-test
+    replays after object collection). *)
+
+(** What memory access (if any) would the next step of a thread perform. *)
+type pending_access = {
+  pa_site : Event.site;
+  pa_obj : Value.addr;
+  pa_field : Jir.Ast.id;
+  pa_idx : int option;
+  pa_kind : [ `Read | `Write ];
+}
+
+val pending_access : t -> Value.tid -> pending_access option
+
+val held_locks : t -> Value.tid -> Value.addr list
+(** Monitors currently held by a thread (reentrancy collapsed), sorted. *)
+
+val construct :
+  t ->
+  ?client:bool ->
+  cls:Jir.Ast.id ->
+  args:Value.t list ->
+  unit ->
+  (Value.t, string) result
+(** Allocate an object, run its field initializers and the
+    arity-matching constructor; how the synthesizer builds fresh
+    receivers. *)
+
+val deref_path : t -> Value.t -> Jir.Ast.id list -> Value.t option
+(** Follow a field path (["[]"] steps into element 0 of an array)
+    through the live heap. *)

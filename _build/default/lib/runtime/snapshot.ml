@@ -1,0 +1,87 @@
+(* Canonical snapshots of the reachable heap, used by the triage stage
+   to decide whether a confirmed race is harmful: execute the racing
+   pair in both orders and compare the observable states.
+
+   Addresses are canonicalized to visit order (deterministic DFS from
+   the roots with sorted field names), so two heaps that are isomorphic
+   from the roots hash equally even if their concrete addresses differ.
+   Monitors and thread handles are excluded: they are transient. *)
+
+type entry =
+  | Eprim of string (* canonical printout of a primitive *)
+  | Eobj of string * (string * int) list (* class, field -> node id *)
+  | Earr of int list (* element node ids; primitives inlined as negatives *)
+
+type t = { entries : (int * entry) list }
+
+let canonical heap ~(roots : Value.t list) : t =
+  let ids : (Value.addr, int) Hashtbl.t = Hashtbl.create 64 in
+  let entries = ref [] in
+  let next = ref 0 in
+  (* Returns the node id for a value; primitive values get fresh leaf
+     entries so the structure is uniform. *)
+  let rec visit (v : Value.t) : int =
+    match v with
+    | Value.Vref a -> visit_addr a
+    | Value.Vnull | Value.Vint _ | Value.Vbool _ | Value.Vstr _ ->
+      let id = !next in
+      incr next;
+      entries := (id, Eprim (Value.to_string v)) :: !entries;
+      id
+    | Value.Vthread _ ->
+      let id = !next in
+      incr next;
+      entries := (id, Eprim "<thread>") :: !entries;
+      id
+  and visit_addr a =
+    match Hashtbl.find_opt ids a with
+    | Some id -> id
+    | None ->
+      let id = !next in
+      incr next;
+      Hashtbl.replace ids a id;
+      (* Reserve the slot now so cycles terminate; fill it after
+         visiting children. *)
+      let placeholder = (id, Eprim "<pending>") in
+      entries := placeholder :: !entries;
+      let e =
+        match (Heap.cell heap a).Heap.kind with
+        | Heap.Kobject { cls; fields } | Heap.Kclassobj { cls; fields } ->
+          let names =
+            List.sort String.compare
+              (Hashtbl.fold (fun k _ acc -> k :: acc) fields [])
+          in
+          Eobj
+            (cls, List.map (fun f -> (f, visit (Hashtbl.find fields f))) names)
+        | Heap.Karray { data; _ } ->
+          Earr (Array.to_list (Array.map visit data))
+      in
+      entries :=
+        List.map (fun (i, e') -> if i = id then (i, e) else (i, e')) !entries;
+      id
+  in
+  List.iter (fun v -> ignore (visit v)) roots;
+  { entries = List.sort (fun (a, _) (b, _) -> Int.compare a b) !entries }
+
+let hash heap ~roots = Hashtbl.hash (canonical heap ~roots)
+
+let equal heap1 ~roots1 heap2 ~roots2 =
+  canonical heap1 ~roots:roots1 = canonical heap2 ~roots:roots2
+
+let to_string (t : t) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (id, e) ->
+      match e with
+      | Eprim s -> Buffer.add_string buf (Printf.sprintf "#%d = %s\n" id s)
+      | Eobj (cls, fs) ->
+        Buffer.add_string buf
+          (Printf.sprintf "#%d = %s{%s}\n" id cls
+             (String.concat ", "
+                (List.map (fun (f, i) -> Printf.sprintf "%s=#%d" f i) fs)))
+      | Earr xs ->
+        Buffer.add_string buf
+          (Printf.sprintf "#%d = [%s]\n" id
+             (String.concat "; " (List.map (Printf.sprintf "#%d") xs))))
+    t.entries;
+  Buffer.contents buf

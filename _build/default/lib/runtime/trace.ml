@@ -1,0 +1,74 @@
+(* Trace recording: capture the event stream of an execution as an
+   array, the "sequence of expressions comprising the execution of a
+   sequential test" of §3.1. *)
+
+type t = Event.t array
+
+(* A recorder to attach with [Machine.add_observer]. *)
+type recorder = { mutable events : Event.t list; mutable count : int }
+
+let recorder () = { events = []; count = 0 }
+
+let observer r (e : Event.t) =
+  r.events <- e :: r.events;
+  r.count <- r.count + 1
+
+let attach m =
+  let r = recorder () in
+  Machine.add_observer m (observer r);
+  r
+
+let snapshot r : t = Array.of_list (List.rev r.events)
+
+let length (t : t) = Array.length t
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "@[<v 0>";
+  Array.iter (fun e -> Format.fprintf fmt "%a@," Event.pp e) t;
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Client-boundary invocations in the trace: these are the "invoke"
+   trace elements of the paper's inference rules. *)
+type invoke = {
+  inv_label : Event.label;
+  inv_frame : Event.frame_id;
+  inv_qname : string;
+  inv_cls : Jir.Ast.id;
+  inv_meth : Jir.Ast.id;
+  inv_recv : Value.t option;
+  inv_args : Value.t list;
+}
+
+let client_invokes (t : t) =
+  Array.to_list t
+  |> List.filter_map (fun (e : Event.t) ->
+         match e with
+         | Event.Invoke { client = true; label; frame; qname; cls; meth; recv; args; _ }
+           ->
+           Some
+             {
+               inv_label = label;
+               inv_frame = frame;
+               inv_qname = qname;
+               inv_cls = cls;
+               inv_meth = meth;
+               inv_recv = recv;
+               inv_args = args;
+             }
+         | Event.Invoke _ | Event.Const _ | Event.Move _ | Event.Read _
+         | Event.Write _ | Event.Alloc _ | Event.Lock _ | Event.Unlock _
+         | Event.Param _ | Event.Return _ | Event.Spawned _ | Event.Joined _
+         | Event.Thrown _ ->
+           None)
+
+let accesses (t : t) =
+  Array.to_list t
+  |> List.filter (fun (e : Event.t) ->
+         match e with
+         | Event.Read _ | Event.Write _ -> true
+         | Event.Invoke _ | Event.Const _ | Event.Move _ | Event.Alloc _
+         | Event.Lock _ | Event.Unlock _ | Event.Param _ | Event.Return _
+         | Event.Spawned _ | Event.Joined _ | Event.Thrown _ ->
+           false)

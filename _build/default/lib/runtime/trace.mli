@@ -1,0 +1,34 @@
+(** Trace recording: the event stream of an execution captured as an
+    array — the "sequence of expressions comprising the execution of a
+    sequential test" of the paper's §3.1. *)
+
+type t = Event.t array
+
+type recorder
+
+val recorder : unit -> recorder
+val observer : recorder -> Event.t -> unit
+
+val attach : Machine.t -> recorder
+(** Attach a fresh recorder to a machine's observer list. *)
+
+val snapshot : recorder -> t
+(** The events recorded so far, in order. *)
+
+val length : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** A client-boundary invocation (an "invoke" trace element). *)
+type invoke = {
+  inv_label : Event.label;
+  inv_frame : Event.frame_id;
+  inv_qname : string;
+  inv_cls : Jir.Ast.id;
+  inv_meth : Jir.Ast.id;
+  inv_recv : Value.t option;
+  inv_args : Value.t list;
+}
+
+val client_invokes : t -> invoke list
+val accesses : t -> Event.t list

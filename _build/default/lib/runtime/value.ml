@@ -1,0 +1,42 @@
+(* Runtime values of the Jir virtual machine. *)
+
+type addr = int
+type tid = int
+
+type t =
+  | Vnull
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vref of addr
+  | Vthread of tid
+
+let equal a b =
+  match (a, b) with
+  | Vnull, Vnull -> true
+  | Vint x, Vint y -> Int.equal x y
+  | Vbool x, Vbool y -> Bool.equal x y
+  | Vstr x, Vstr y -> String.equal x y
+  | Vref x, Vref y -> Int.equal x y
+  | Vthread x, Vthread y -> Int.equal x y
+  | (Vnull | Vint _ | Vbool _ | Vstr _ | Vref _ | Vthread _), _ -> false
+
+let pp fmt = function
+  | Vnull -> Format.pp_print_string fmt "null"
+  | Vint n -> Format.pp_print_int fmt n
+  | Vbool b -> Format.pp_print_bool fmt b
+  | Vstr s -> Format.fprintf fmt "%S" s
+  | Vref a -> Format.fprintf fmt "@%d" a
+  | Vthread t -> Format.fprintf fmt "<thread %d>" t
+
+let to_string v = Format.asprintf "%a" pp v
+
+let addr_of = function Vref a -> Some a | Vnull | Vint _ | Vbool _ | Vstr _ | Vthread _ -> None
+
+(* Default value for a field/array slot of the given static type. *)
+let default_of_ty (t : Jir.Ast.ty) =
+  match t with
+  | Jir.Ast.Tint -> Vint 0
+  | Jir.Ast.Tbool -> Vbool false
+  | Jir.Ast.Tstr -> Vstr ""
+  | Jir.Ast.Tclass _ | Jir.Ast.Tarray _ | Jir.Ast.Tvoid | Jir.Ast.Tthread -> Vnull

@@ -1,0 +1,21 @@
+(** Runtime values of the Jir virtual machine. *)
+
+type addr = int
+(** Heap address. *)
+
+type tid = int
+(** Thread identifier. *)
+
+type t =
+  | Vnull
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vref of addr
+  | Vthread of tid
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val addr_of : t -> addr option
+val default_of_ty : Jir.Ast.ty -> t

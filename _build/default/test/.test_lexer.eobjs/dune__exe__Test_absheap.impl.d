@@ -1,0 +1,1 @@
+test/test_absheap.ml: Absheap Alcotest Event List Narada_core Option Runtime Sym Value

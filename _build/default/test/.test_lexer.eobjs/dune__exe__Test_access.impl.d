@@ -1,0 +1,1 @@
+test/test_access.ml: Access Alcotest Jir List Narada_core Runtime String Summary Sym Testlib

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Ast Code Compile Jir List Printf

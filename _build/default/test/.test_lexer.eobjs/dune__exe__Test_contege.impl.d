@@ -1,0 +1,1 @@
+test/test_contege.ml: Alcotest Contege Corpus Jir List Narada_core Testlib

@@ -1,0 +1,1 @@
+test/test_context.ml: Access Alcotest Context Corpus Jir List Narada_core Pipeline String Summary Testlib

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Conc Corpus Detect Hashtbl Jir List Narada_core Pairs Pipeline Printf Runtime String Synth Testlib

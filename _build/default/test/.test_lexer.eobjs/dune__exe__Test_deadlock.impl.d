@@ -1,0 +1,1 @@
+test/test_deadlock.ml: Alcotest Deadlock Jir List Narada_core

@@ -1,0 +1,1 @@
+test/test_detectors.ml: Alcotest Conc Detect Fasttrack Jir List Lockset Race Runtime String Testlib

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Array Event Hashtbl Interp Jir List Option Runtime Testlib Trace Value

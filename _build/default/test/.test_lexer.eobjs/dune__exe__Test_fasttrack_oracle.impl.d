@@ -1,0 +1,1 @@
+test/test_fasttrack_oracle.ml: Alcotest Array Detect Djit Fasttrack Hashtbl Int List Lockset Option Printf QCheck QCheck_alcotest Race Runtime String Vclock

@@ -1,0 +1,1 @@
+test/test_fasttrack_oracle.mli:

@@ -1,0 +1,1 @@
+test/test_heap_qcheck.ml: Alcotest Array Hashtbl Heap Jir List Option Printf QCheck QCheck_alcotest Runtime Snapshot String Value

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Conc Int64 Interp Jir List Machine Runtime String Testlib Value

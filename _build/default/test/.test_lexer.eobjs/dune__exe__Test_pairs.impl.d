@@ -1,0 +1,1 @@
+test/test_pairs.ml: Access Alcotest Jir List Narada_core Pairs Pipeline Runtime String Testlib

@@ -1,0 +1,1 @@
+test/test_parser_qcheck.ml: Alcotest Jir List Printf QCheck QCheck_alcotest Runtime String

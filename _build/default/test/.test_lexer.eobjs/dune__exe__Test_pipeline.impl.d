@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Conc Corpus Detect List Narada_core Pairs Pipeline Runtime String Synth Testlib

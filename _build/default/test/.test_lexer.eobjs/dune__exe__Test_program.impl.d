@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Ast Diag Jir List Parser Program String

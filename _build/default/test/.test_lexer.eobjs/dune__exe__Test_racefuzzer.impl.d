@@ -1,0 +1,1 @@
+test/test_racefuzzer.ml: Alcotest Conc Detect Jir Lockset Race Racefuzzer Runtime Triage

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Conc Int64 Jir List QCheck QCheck_alcotest Runtime Testlib

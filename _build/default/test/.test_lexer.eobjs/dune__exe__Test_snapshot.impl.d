@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Heap Jir Machine Runtime Snapshot String Value

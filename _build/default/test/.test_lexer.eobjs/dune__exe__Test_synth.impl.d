@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Detect List Narada_core Pairs Pipeline Runtime String Synth Testlib

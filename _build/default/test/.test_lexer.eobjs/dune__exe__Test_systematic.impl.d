@@ -1,0 +1,1 @@
+test/test_systematic.ml: Alcotest Conc Detect Jir List Runtime Testlib

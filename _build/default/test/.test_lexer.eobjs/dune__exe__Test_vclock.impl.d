@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Array Detect QCheck QCheck_alcotest Vclock

@@ -1,0 +1,5 @@
+  $ narada corpus
+  $ narada analyze ../../examples/jir/fig1.jir
+  $ narada synthesize ../../examples/jir/fig1.jir | head -12
+  $ narada run ../../examples/jir/fig1.jir
+  $ narada analyze --corpus C42

@@ -1,0 +1,2 @@
+  $ narada deadlock ../../examples/jir/transfer.jir
+  $ narada deadlock --corpus C9

@@ -1,0 +1,12 @@
+The companion deadlock synthesizer confirms the ABBA transfer deadlock:
+
+  $ narada deadlock ../../examples/jir/transfer.jir
+  deadlock pair:
+    t1 Account.transferTo: holds I0:Account, acquires I1:Account
+    t2 Account.transferTo: holds I0:Account, acquires I1:Account
+    => DEADLOCK confirmed (directed)
+
+A class without nested locking yields no pairs:
+
+  $ narada deadlock --corpus C9
+  no ABBA lock-order pairs found

@@ -1,0 +1,1 @@
+test/lib/fixtures.ml: Jir Narada_core

@@ -1,0 +1,159 @@
+(* Access analysis ground truth: the paper's worked examples.
+
+   §3.1.1 / Table 1 / Fig. 11 (our [Fixtures.fig8]): inside
+   [A.foo(Y y)] executed as a client call,
+
+   - the read  [t := b.x]   is neither writeable nor unprotected
+     (the receiver is locked and it is a read)          → (false, false)
+   - the write [t.o := new O()] is unprotected but not writeable
+     (the rhs is not controllable; [t]'s owner is the unlocked x)
+                                                        → (false, true)
+   - the write [b.y := y]   is writeable but protected  → (true, false)
+
+   and the corresponding D bindings are
+   4 ↦ ⊥ ⇌ I0.x,   5 ↦ I0.x.o ⇌ ⊥,   6 ↦ I0.y ⇌ I1. *)
+
+open Narada_core
+
+let analyze src =
+  let cu = Jir.Compile.compile_source src in
+  let _m, trace, res =
+    Runtime.Interp.record cu ~client_classes:[ "Seed" ] ~cls:"Seed" ~meth:"main"
+  in
+  (match res with Ok _ -> () | Error e -> Alcotest.failf "seed failed: %s" e);
+  Access.analyze cu ~client_classes:[ "Seed" ] trace
+
+let find_access (res : Access.result) ~meth ~field ~kind =
+  match
+    List.find_opt
+      (fun (a : Access.acc) ->
+        String.equal a.Access.acc_site.Runtime.Event.s_meth meth
+        && String.equal a.Access.acc_field field
+        && a.Access.acc_kind = kind)
+      res.Access.accesses
+  with
+  | Some a -> a
+  | None -> Alcotest.failf "no %s access to .%s in %s" (Access.kind_to_string kind) field meth
+
+let check_bits name (a : Access.acc) ~writeable ~unprot =
+  Alcotest.(check (pair bool bool))
+    name (writeable, unprot)
+    (a.Access.acc_writeable, a.Access.acc_unprot)
+
+let test_table1_bits () =
+  let res = analyze Testlib.Fixtures.fig8 in
+  (* label 4: t := b.x — read of this.x while this is locked *)
+  let read_x = find_access res ~meth:"A.foo" ~field:"x" ~kind:Access.Kread in
+  check_bits "read b.x -> (false,false)" read_x ~writeable:false ~unprot:false;
+  (* label 5: t.o := new O() — rhs not controllable, owner x unlocked *)
+  let write_o = find_access res ~meth:"A.foo" ~field:"o" ~kind:Access.Kwrite in
+  check_bits "write t.o -> (false,true)" write_o ~writeable:false ~unprot:true;
+  (* label 6: b.y := y — controllable both sides, receiver locked *)
+  let write_y = find_access res ~meth:"A.foo" ~field:"y" ~kind:Access.Kwrite in
+  check_bits "write b.y -> (true,false)" write_y ~writeable:true ~unprot:false
+
+let test_table1_paths () =
+  let res = analyze Testlib.Fixtures.fig8 in
+  let write_o = find_access res ~meth:"A.foo" ~field:"o" ~kind:Access.Kwrite in
+  (* D at label 5: the unprotected access is I0.x.o (the paper's I1.x.o
+     with 1-based receiver numbering) *)
+  (match write_o.Access.acc_owner_path with
+  | Some p -> Alcotest.(check string) "owner of t.o" "I0.x" (Sym.to_string p)
+  | None -> Alcotest.fail "no owner path for t.o");
+  let write_y = find_access res ~meth:"A.foo" ~field:"y" ~kind:Access.Kwrite in
+  match write_y.Access.acc_owner_path with
+  | Some p -> Alcotest.(check string) "owner of b.y" "I0" (Sym.to_string p)
+  | None -> Alcotest.fail "no owner path for b.y"
+
+let test_fig8_setter () =
+  (* b.y := y yields the D binding I0.y ⇌ I1: A.foo is a setter for y. *)
+  let res = analyze Testlib.Fixtures.fig8 in
+  let setters = Summary.setters res.Access.summary in
+  Alcotest.(check bool) "A.foo sets I0.y from I1" true
+    (List.exists
+       (fun (s : Summary.setter) ->
+         String.equal s.Summary.set_qname "A.foo"
+         && Sym.to_string s.Summary.set_lhs = "I0.y"
+         && Sym.to_string s.Summary.set_rhs = "I1")
+       setters)
+
+let test_anchor_attribution () =
+  (* The count access inside Counter.inc is anchored at the client-level
+     Lib.update invocation. *)
+  let res = analyze Testlib.Fixtures.fig1 in
+  let w = find_access res ~meth:"Counter.inc" ~field:"count" ~kind:Access.Kwrite in
+  match w.Access.acc_anchor with
+  | Some an ->
+    Alcotest.(check string) "anchor" "Lib.update" an.Access.an_qname;
+    (match w.Access.acc_owner_path with
+    | Some p -> Alcotest.(check string) "owner path" "I0.c" (Sym.to_string p)
+    | None -> Alcotest.fail "no owner path")
+  | None -> Alcotest.fail "no anchor"
+
+let test_ctor_accesses_flagged () =
+  let res = analyze Testlib.Fixtures.fig1 in
+  let in_ctor =
+    List.filter
+      (fun (a : Access.acc) ->
+        a.Access.acc_in_ctor
+        && String.equal a.Access.acc_site.Runtime.Event.s_meth "Lib.<init>")
+      res.Access.accesses
+  in
+  Alcotest.(check bool) "ctor accesses recorded and flagged" true (in_ctor <> [])
+
+let test_client_accesses_not_lib () =
+  let res = analyze Testlib.Fixtures.fig1 in
+  List.iter
+    (fun (a : Access.acc) ->
+      if a.Access.acc_in_lib then
+        Alcotest.(check bool) "lib access not in Seed" false
+          (String.length a.Access.acc_site.Runtime.Event.s_meth >= 4
+          && String.sub a.Access.acc_site.Runtime.Event.s_meth 0 4 = "Seed"))
+    res.Access.accesses
+
+let test_return_rule () =
+  (* §3.2's snippet: foo(x, y) { x.f := y; w := alloc; w.z := x; return w }
+     must produce the access summary {Ir.z ⇌ I1, Ir.z.f ⇌ I2}. *)
+  let res = analyze Testlib.Fixtures.return_rule in
+  let setters =
+    List.filter
+      (fun (s : Summary.setter) -> s.Summary.set_lhs.Sym.root = Sym.Ret)
+      (Summary.setters res.Access.summary)
+  in
+  let strings =
+    List.sort String.compare
+      (List.map
+         (fun (s : Summary.setter) ->
+           Sym.to_string s.Summary.set_lhs ^ " := " ^ Sym.to_string s.Summary.set_rhs)
+         setters)
+  in
+  Alcotest.(check (list string)) "return-rule bindings"
+    [ "Ir.z := I1"; "Ir.z.f := I2" ] strings
+
+let test_a_map_complete () =
+  let res = analyze Testlib.Fixtures.fig8 in
+  Alcotest.(check int) "A covers every access"
+    (List.length res.Access.accesses)
+    (List.length res.Access.a_map)
+
+let () =
+  Alcotest.run "access"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "A bits" `Quick test_table1_bits;
+          Alcotest.test_case "I-paths" `Quick test_table1_paths;
+          Alcotest.test_case "setter from D" `Quick test_fig8_setter;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "anchors" `Quick test_anchor_attribution;
+          Alcotest.test_case "ctor flag" `Quick test_ctor_accesses_flagged;
+          Alcotest.test_case "client filter" `Quick test_client_accesses_not_lib;
+        ] );
+      ( "return rule",
+        [
+          Alcotest.test_case "Ir bindings" `Quick test_return_rule;
+          Alcotest.test_case "A total" `Quick test_a_map_complete;
+        ] );
+    ]

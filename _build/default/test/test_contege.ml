@@ -1,0 +1,157 @@
+(* ConTeGe-style baseline tests: generation validity, determinism, the
+   thread-safety-violation oracle, and the qualitative §5 comparison
+   (random search finds far less than directed synthesis). *)
+
+let c1 = Corpus.C1_write_behind_queue.entry
+
+let test_generation_produces_valid_tests () =
+  let cu = Jir.Compile.compile_source c1.Corpus.Corpus_def.e_source in
+  let prog = cu.Jir.Code.cu_program in
+  let generated = ref 0 and compiled = ref 0 in
+  for i = 0 to 29 do
+    match
+      Contege.generate prog ~cut:c1.Corpus.Corpus_def.e_name
+        ~lib_source:c1.Corpus.Corpus_def.e_source ~seed:5L ~index:i
+    with
+    | None -> ()
+    | Some g -> (
+      incr generated;
+      match Jir.Compile.compile_source g.Contege.gen_source with
+      | _ -> incr compiled
+      | exception Jir.Diag.Error _ -> ())
+  done;
+  Alcotest.(check bool) "most indexes generate" true (!generated >= 20);
+  Alcotest.(check int) "every generated test compiles" !generated !compiled
+
+let test_generation_deterministic () =
+  let cu = Jir.Compile.compile_source c1.Corpus.Corpus_def.e_source in
+  let prog = cu.Jir.Code.cu_program in
+  let gen i =
+    Contege.generate prog ~cut:c1.Corpus.Corpus_def.e_name
+      ~lib_source:c1.Corpus.Corpus_def.e_source ~seed:5L ~index:i
+  in
+  match (gen 3, gen 3) with
+  | Some a, Some b ->
+    Alcotest.(check string) "same source" a.Contege.gen_source b.Contege.gen_source
+  | _ -> Alcotest.fail "generation failed"
+
+let test_oracle_detects_crafted_violation () =
+  (* A handcrafted test in the generated format: bump() maintains the
+     invariant x == y and throws when it sees it broken.  Serially the
+     invariant always holds; concurrent interleavings break it. *)
+  let src =
+    {|
+class R {
+  int x;
+  int y;
+  void bump() {
+    int a = this.x;
+    int b = this.y;
+    if (a != b) { throw "inconsistent"; }
+    this.x = a + 1;
+    this.y = b + 1;
+  }
+}
+class WorkerA {
+  R target;
+  WorkerA(R t) { this.target = t; }
+  void run() { this.target.bump(); this.target.bump(); }
+}
+class WorkerB {
+  R target;
+  WorkerB(R t) { this.target = t; }
+  void run() { this.target.bump(); this.target.bump(); }
+}
+class ContegeTest {
+  static void concurrent() {
+    R v0 = new R();
+    WorkerA wa = new WorkerA(v0);
+    WorkerB wb = new WorkerB(v0);
+    thread t1 = spawn wa.run();
+    thread t2 = spawn wb.run();
+    join t1;
+    join t2;
+  }
+  static void serial12() {
+    R v0 = new R();
+    WorkerA wa = new WorkerA(v0);
+    WorkerB wb = new WorkerB(v0);
+    wa.run();
+    wb.run();
+  }
+  static void serial21() {
+    R v0 = new R();
+    WorkerA wa = new WorkerA(v0);
+    WorkerB wb = new WorkerB(v0);
+    wb.run();
+    wa.run();
+  }
+}
+|}
+  in
+  let gen = { Contege.gen_index = 0; gen_source = src } in
+  match Contege.check gen ~schedules:80 ~seed:3L with
+  | Contege.Violation _ -> ()
+  | Contege.Passed -> Alcotest.fail "oracle missed the violation"
+  | Contege.Invalid -> Alcotest.fail "test should be sequentially valid"
+
+let test_oracle_rejects_sequentially_broken () =
+  let src =
+    {|
+class R { void boom() { throw "always"; } }
+class WorkerA { R target; WorkerA(R t) { this.target = t; } void run() { this.target.boom(); } }
+class WorkerB { R target; WorkerB(R t) { this.target = t; } void run() { } }
+class ContegeTest {
+  static void concurrent() { R v0 = new R(); WorkerA wa = new WorkerA(v0); WorkerB wb = new WorkerB(v0); thread t1 = spawn wa.run(); thread t2 = spawn wb.run(); join t1; join t2; }
+  static void serial12() { R v0 = new R(); WorkerA wa = new WorkerA(v0); WorkerB wb = new WorkerB(v0); wa.run(); wb.run(); }
+  static void serial21() { R v0 = new R(); WorkerA wa = new WorkerA(v0); WorkerB wb = new WorkerB(v0); wb.run(); wa.run(); }
+}
+|}
+  in
+  match Contege.check { Contege.gen_index = 0; gen_source = src } ~schedules:5 ~seed:3L with
+  | Contege.Invalid -> ()
+  | Contege.Passed | Contege.Violation _ ->
+    Alcotest.fail "sequentially failing test must be Invalid"
+
+let test_campaign_runs () =
+  let c = Contege.campaign c1 ~budget:25 ~schedules:3 ~seed:11L in
+  Alcotest.(check int) "budget respected" 25 c.Contege.ca_tests;
+  Alcotest.(check bool) "some valid tests" true (c.Contege.ca_valid > 0);
+  Alcotest.(check bool) "violations <= valid" true
+    (c.Contege.ca_violations <= c.Contege.ca_valid)
+
+let test_random_misses_what_narada_finds () =
+  (* The §5 comparison, miniaturized: on C1, Narada's directed synthesis
+     confirms races while an equal-effort random campaign finds nothing
+     (the paper: 1K-70K random tests for 0-2 violations). *)
+  let an =
+    Testlib.Fixtures.analyze ~client:"Seed" c1.Corpus.Corpus_def.e_source
+  in
+  Alcotest.(check bool) "narada synthesizes tests" true
+    (List.length an.Narada_core.Pipeline.an_tests > 10);
+  let camp = Contege.campaign c1 ~budget:40 ~schedules:3 ~seed:11L in
+  Alcotest.(check bool) "random finds (almost) nothing" true
+    (camp.Contege.ca_violations <= 1)
+
+let () =
+  Alcotest.run "contege"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "valid tests" `Quick test_generation_produces_valid_tests;
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "detects violation" `Quick
+            test_oracle_detects_crafted_violation;
+          Alcotest.test_case "rejects broken" `Quick
+            test_oracle_rejects_sequentially_broken;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "runs" `Quick test_campaign_runs;
+          Alcotest.test_case "misses vs narada" `Slow
+            test_random_misses_what_narada_finds;
+        ] );
+    ]

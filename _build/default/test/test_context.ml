@@ -1,0 +1,181 @@
+(* Context derivation tests (§3.3, Fig. 10/12/13).
+
+   The headline check is the paper's Fig. 13: to make a race on A.x.o
+   manifest across two receivers, the derived context must set A.x via
+   bar, whose payload comes from Z.w, which baz sets — the sequence
+   z.baz(x); a.bar(z); a'.bar(z). *)
+
+open Narada_core
+
+let summary_of src =
+  let an = Testlib.Fixtures.analyze src in
+  (an.Pipeline.an_cu.Jir.Code.cu_program, an.Pipeline.an_access.Access.summary, an)
+
+let test_fig13_setters () =
+  let _prog, summary, _an = summary_of Testlib.Fixtures.fig13 in
+  let strings =
+    List.sort String.compare
+      (List.map Summary.to_string (Summary.setters summary))
+  in
+  (* bar sets A.x from z.w; baz sets Z.w from its argument *)
+  Alcotest.(check bool) "bar setter present" true
+    (List.mem "A.bar: I0.x := I1.w" strings);
+  Alcotest.(check bool) "baz setter present" true
+    (List.mem "Z.baz: I0.w := I1" strings)
+
+let test_fig13_derivation () =
+  let prog, summary, _an = summary_of Testlib.Fixtures.fig13 in
+  match Context.derive prog summary ~owner_cls:(Some "A") ~path:[ "x" ] with
+  | Some (Context.Apply { setter; payload }) -> (
+    Alcotest.(check string) "outer setter is bar" "A.bar"
+      setter.Summary.set_qname;
+    match payload with
+    | Context.Prepared { recipe = Context.Apply { setter = inner; payload = Context.Shared }; _ }
+      ->
+      Alcotest.(check string) "inner setter is baz" "Z.baz"
+        inner.Summary.set_qname
+    | Context.Prepared _ | Context.Shared ->
+      Alcotest.fail "expected baz to prepare the payload")
+  | Some Context.Share_owner | None ->
+    Alcotest.fail "expected a bar-based recipe"
+
+let test_fig13_recipe_string () =
+  let prog, summary, _an = summary_of Testlib.Fixtures.fig13 in
+  match Context.derive prog summary ~owner_cls:(Some "A") ~path:[ "x" ] with
+  | Some r ->
+    Alcotest.(check string) "printed recipe" "A.bar(Z.baz(SHARED))"
+      (Context.recipe_to_string r)
+  | None -> Alcotest.fail "no recipe"
+
+let test_empty_path_shares_owner () =
+  let prog, summary, _an = summary_of Testlib.Fixtures.fig13 in
+  match Context.derive prog summary ~owner_cls:(Some "A") ~path:[] with
+  | Some Context.Share_owner -> ()
+  | Some _ | None -> Alcotest.fail "empty path must be Share_owner"
+
+let test_simple_set_rule () =
+  let prog, summary, _an = summary_of Testlib.Fixtures.fig1 in
+  (* Q(I0.c) on Lib = the set rule: Lib.set assigns c from its argument. *)
+  match Context.derive prog summary ~owner_cls:(Some "Lib") ~path:[ "c" ] with
+  | Some (Context.Apply { setter; payload = Context.Shared }) ->
+    Alcotest.(check string) "setter" "Lib.set" setter.Summary.set_qname
+  | Some _ | None -> Alcotest.fail "expected Lib.set recipe"
+
+let test_underivable_path () =
+  let prog, summary, _an = summary_of Testlib.Fixtures.fig1 in
+  match Context.derive prog summary ~owner_cls:(Some "Lib") ~path:[ "nonexistent" ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected no recipe for an unknown field"
+
+let test_prefix_fallback () =
+  let prog, summary, _an = summary_of Testlib.Fixtures.fig1 in
+  (* c.count cannot be set directly (count is an int), but the prefix c
+     can: plan_for must fall back to the c prefix. *)
+  let plan = Context.plan_for prog summary ~owner_cls:(Some "Lib") ~path:[ "c"; "bogus" ] in
+  Alcotest.(check bool) "no full recipe" true (plan.Context.plan_recipe = None);
+  match plan.Context.plan_prefix with
+  | Some (prefix, Context.Apply { setter; _ }) ->
+    Alcotest.(check (list string)) "prefix" [ "c" ] prefix;
+    Alcotest.(check string) "prefix setter" "Lib.set" setter.Summary.set_qname
+  | Some (_, (Context.Share_owner as r)) ->
+    Alcotest.failf "unexpected recipe %s" (Context.recipe_to_string r)
+  | None -> Alcotest.fail "expected a prefix plan"
+
+let test_factory_rule () =
+  (* C1: Q(I0.queue) on the wrapper is satisfied by the constructor (and
+     the factory): both set queue from the argument. *)
+  let e = Corpus.C1_write_behind_queue.entry in
+  let an =
+    Testlib.Fixtures.analyze ~client:e.Corpus.Corpus_def.e_seed_cls
+      e.Corpus.Corpus_def.e_source
+  in
+  let prog = an.Pipeline.an_cu.Jir.Code.cu_program in
+  let summary = an.Pipeline.an_access.Access.summary in
+  match
+    Context.derive prog summary
+      ~owner_cls:(Some "SynchronizedWriteBehindQueue")
+      ~path:[ "queue" ]
+  with
+  | Some (Context.Apply { setter; payload = Context.Shared }) ->
+    Alcotest.(check bool) "ctor or factory" true
+      (List.mem setter.Summary.set_qname
+         [
+           "SynchronizedWriteBehindQueue.<init>";
+           "WriteBehindQueues.createSafeWriteBehindQueue";
+         ])
+  | Some _ | None -> Alcotest.fail "expected a queue-setting recipe"
+
+let test_fig12_concat_rule () =
+  (* Fig. 12: no single method assigns x.f.g, but m assigns x.f and n
+     assigns y.g — the concat rule composes them: m(n(SHARED)). *)
+  let src =
+    {|
+class G {
+  int v;
+}
+
+class F {
+  G g;
+  void n(G z) { this.g = z; }
+  int read() {
+    if (this.g == null) { return 0; }
+    return this.g.v;
+  }
+}
+
+class M {
+  F f;
+  void m(F y) { this.f = y; }
+  int peek() {
+    if (this.f == null) { return 0; }
+    return this.f.read();
+  }
+}
+
+class Seed {
+  static void main() {
+    M x = new M();
+    F y = new F();
+    G z = new G();
+    y.n(z);
+    x.m(y);
+    int v = x.peek();
+  }
+}
+|}
+  in
+  let an = Testlib.Fixtures.analyze src in
+  let prog = an.Pipeline.an_cu.Jir.Code.cu_program in
+  let summary = an.Pipeline.an_access.Access.summary in
+  match Context.derive prog summary ~owner_cls:(Some "M") ~path:[ "f"; "g" ] with
+  | Some r ->
+    Alcotest.(check string) "concat sequence" "M.m(F.n(SHARED))"
+      (Context.recipe_to_string r)
+  | None -> Alcotest.fail "concat rule failed to compose m after n"
+
+let test_recipe_depth_bounded () =
+  let prog, summary, _an = summary_of Testlib.Fixtures.fig13 in
+  match Context.derive prog summary ~owner_cls:(Some "A") ~path:[ "x" ] with
+  | Some r -> Alcotest.(check bool) "depth sane" true (Context.recipe_depth r <= 4)
+  | None -> Alcotest.fail "no recipe"
+
+let () =
+  Alcotest.run "context"
+    [
+      ( "fig13",
+        [
+          Alcotest.test_case "setters collected" `Quick test_fig13_setters;
+          Alcotest.test_case "bar∘baz derived" `Quick test_fig13_derivation;
+          Alcotest.test_case "printable" `Quick test_fig13_recipe_string;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "share owner" `Quick test_empty_path_shares_owner;
+          Alcotest.test_case "set rule" `Quick test_simple_set_rule;
+          Alcotest.test_case "underivable" `Quick test_underivable_path;
+          Alcotest.test_case "prefix fallback" `Quick test_prefix_fallback;
+          Alcotest.test_case "factory (C1)" `Quick test_factory_rule;
+          Alcotest.test_case "concat (fig12)" `Quick test_fig12_concat_rule;
+          Alcotest.test_case "depth bound" `Quick test_recipe_depth_bounded;
+        ] );
+    ]

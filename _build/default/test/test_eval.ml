@@ -1,0 +1,106 @@
+(* Evaluation harness tests: class evaluation invariants and the table
+   renderers, exercised on the two smallest corpus entries so the suite
+   stays fast. *)
+
+let eval id =
+  match Corpus.Registry.find id with
+  | None -> Alcotest.failf "no corpus entry %s" id
+  | Some e -> (
+    match Eval.Evaluate.evaluate_class e with
+    | Ok ce -> ce
+    | Error msg -> Alcotest.failf "%s evaluation failed: %s" id msg)
+
+let test_invariants id () =
+  let ce = eval id in
+  Alcotest.(check bool) "detected >= reproduced" true
+    (ce.Eval.Evaluate.cl_detected >= ce.Eval.Evaluate.cl_reproduced);
+  Alcotest.(check bool) "reproduced >= harmful + benign" true
+    (ce.Eval.Evaluate.cl_reproduced
+    >= ce.Eval.Evaluate.cl_harmful + ce.Eval.Evaluate.cl_benign);
+  Alcotest.(check int) "one eval per test" ce.Eval.Evaluate.cl_tests
+    (List.length ce.Eval.Evaluate.cl_test_evals);
+  Alcotest.(check bool) "pairs >= tests" true
+    (ce.Eval.Evaluate.cl_pairs >= ce.Eval.Evaluate.cl_tests)
+
+let test_c9_expected_outcomes () =
+  let ce = eval "C9" in
+  (* close/ready and close/read races on buf must be reproduced and at
+     least one triaged harmful (the NPE). *)
+  Alcotest.(check bool) "some harmful" true (ce.Eval.Evaluate.cl_harmful >= 1);
+  Alcotest.(check bool) "some detected" true (ce.Eval.Evaluate.cl_detected >= 2)
+
+let test_fig14_distribution_sums () =
+  let ce = eval "C7" in
+  let dist = Eval.Evaluate.fig14_distribution ce in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dist in
+  Alcotest.(check bool) "percentages sum to 100" true (abs_float (total -. 100.0) < 1e-6);
+  Alcotest.(check int) "all buckets present" 6 (List.length dist)
+
+let test_race_outcomes_deduped () =
+  let ce = eval "C9" in
+  List.iter
+    (fun (te : Eval.Evaluate.test_eval) ->
+      let keys = List.map (fun ro -> ro.Eval.Evaluate.ro_key) te.Eval.Evaluate.te_races in
+      Alcotest.(check int) "unique keys per test"
+        (List.length (List.sort_uniq Detect.Race.compare_key keys))
+        (List.length keys))
+    ce.Eval.Evaluate.cl_test_evals
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_renderers () =
+  let evals = [ eval "C7"; eval "C9" ] in
+  let t3 = Eval.Tables.table3 () in
+  Alcotest.(check bool) "table3 lists hazelcast" true (contains t3 "hazelcast");
+  let t4 = Eval.Tables.table4 evals in
+  Alcotest.(check bool) "table4 has C7 row" true (contains t4 "C7");
+  Alcotest.(check bool) "table4 has totals" true (contains t4 "Tot");
+  let t5 = Eval.Tables.table5 evals in
+  Alcotest.(check bool) "table5 has C9 row" true (contains t5 "C9");
+  let f = Eval.Tables.fig14 evals in
+  Alcotest.(check bool) "fig14 has legend" true (contains f "legend")
+
+let test_determinism () =
+  let ce1 = eval "C9" and ce2 = eval "C9" in
+  Alcotest.(check int) "same detected" ce1.Eval.Evaluate.cl_detected
+    ce2.Eval.Evaluate.cl_detected;
+  Alcotest.(check int) "same harmful" ce1.Eval.Evaluate.cl_harmful
+    ce2.Eval.Evaluate.cl_harmful
+
+let test_ablation () =
+  match Corpus.Registry.find "C1" with
+  | None -> Alcotest.fail "no C1"
+  | Some e -> (
+    match Eval.Evaluate.ablation e with
+    | Error msg -> Alcotest.fail msg
+    | Ok row ->
+      Alcotest.(check int) "no races without context" 0
+        row.Eval.Evaluate.ab_without_context;
+      Alcotest.(check bool) "most tests racy with context" true
+        (row.Eval.Evaluate.ab_with_context > row.Eval.Evaluate.ab_tests / 2);
+      Alcotest.(check bool) "bounded by tests" true
+        (row.Eval.Evaluate.ab_with_context <= row.Eval.Evaluate.ab_tests))
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "C7" `Quick (test_invariants "C7");
+          Alcotest.test_case "C9" `Quick (test_invariants "C9");
+          Alcotest.test_case "C3" `Quick (test_invariants "C3");
+        ] );
+      ( "outcomes",
+        [
+          Alcotest.test_case "C9 expectations" `Quick test_c9_expected_outcomes;
+          Alcotest.test_case "fig14 sums" `Quick test_fig14_distribution_sums;
+          Alcotest.test_case "dedup" `Quick test_race_outcomes_deduped;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+        ] );
+      ("tables", [ Alcotest.test_case "renderers" `Quick test_table_renderers ]);
+      ( "ablation",
+        [ Alcotest.test_case "context on/off (C1)" `Slow test_ablation ] );
+    ]

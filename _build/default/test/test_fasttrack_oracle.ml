@@ -1,0 +1,181 @@
+(* Property test: FastTrack (epoch-optimized) agrees with a naive
+   happens-before oracle that keeps full vector clocks for every access,
+   on randomly generated synthetic traces.
+
+   A trace is a random interleaving of lock-balanced sections and
+   accesses by a few threads over a few variables.  The oracle computes,
+   for every pair of conflicting accesses to the same variable, whether
+   they are vector-clock ordered; FastTrack must flag exactly the
+   variables for which some conflicting pair is unordered. *)
+
+open Detect
+
+type op =
+  | Acc of int * int * bool (* tid, var, is_write *)
+  | Lk of int * int (* tid, lock *)
+  | Unlk of int * int
+
+let op_print = function
+  | Acc (t, v, w) -> Printf.sprintf "t%d %s v%d" t (if w then "W" else "R") v
+  | Lk (t, l) -> Printf.sprintf "t%d lock l%d" t l
+  | Unlk (t, l) -> Printf.sprintf "t%d unlock l%d" t l
+
+(* Generate a well-formed trace: per-thread lock sections are balanced
+   and non-overlapping (each thread holds at most one lock at a time),
+   and a lock is held by at most one thread at a time (we serialize by
+   construction: a thread's section is emitted contiguously w.r.t. that
+   lock). *)
+let gen_trace =
+  QCheck.Gen.(
+    let n_threads = 3 and n_vars = 2 and n_locks = 2 in
+    let section tid =
+      let* use_lock = bool in
+      let* lock = int_bound (n_locks - 1) in
+      let* accs =
+        list_size (int_range 1 3)
+          (let* v = int_bound (n_vars - 1) in
+           let* w = bool in
+           return (Acc (tid, v, w)))
+      in
+      if use_lock then return ((Lk (tid, lock) :: accs) @ [ Unlk (tid, lock) ])
+      else return accs
+    in
+    let* sections =
+      list_size (int_range 2 8)
+        (let* tid = int_bound (n_threads - 1) in
+         section tid)
+    in
+    return (List.concat sections))
+
+let arb_trace =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    gen_trace
+
+(* Feed a synthetic trace to a detector observer. *)
+let events_of_ops ops =
+  List.mapi
+    (fun i op ->
+      let site tid = { Runtime.Event.s_meth = Printf.sprintf "T%d.run" tid; s_pc = i } in
+      match op with
+      | Acc (tid, v, true) ->
+        Runtime.Event.Write
+          {
+            label = i;
+            tid;
+            frame = tid;
+            site = site tid;
+            obj = 1000 + v;
+            field = "f";
+            idx = None;
+            src = None;
+            v = Runtime.Value.Vint i;
+          }
+      | Acc (tid, v, false) ->
+        Runtime.Event.Read
+          {
+            label = i;
+            tid;
+            frame = tid;
+            site = site tid;
+            dst = 0;
+            obj = 1000 + v;
+            field = "f";
+            idx = None;
+            v = Runtime.Value.Vint i;
+          }
+      | Lk (tid, l) -> Runtime.Event.Lock { label = i; tid; frame = tid; addr = 2000 + l }
+      | Unlk (tid, l) ->
+        Runtime.Event.Unlock { label = i; tid; frame = tid; addr = 2000 + l })
+    ops
+
+(* Naive oracle: recompute vector clocks event by event, remember every
+   access with its clock, and mark a variable racy if two conflicting
+   accesses from different threads are unordered. *)
+let naive_racy_vars ops : int list =
+  let clocks = Hashtbl.create 4 in
+  let clock t = Option.value ~default:(Vclock.inc Vclock.empty t) (Hashtbl.find_opt clocks t) in
+  let lock_clocks = Hashtbl.create 4 in
+  let history : (int, (int * Vclock.t * bool) list) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun op ->
+      match op with
+      | Lk (t, l) -> (
+        match Hashtbl.find_opt lock_clocks l with
+        | Some lc -> Hashtbl.replace clocks t (Vclock.join (clock t) lc)
+        | None -> Hashtbl.replace clocks t (clock t))
+      | Unlk (t, l) ->
+        Hashtbl.replace lock_clocks l (clock t);
+        Hashtbl.replace clocks t (Vclock.inc (clock t) t)
+      | Acc (t, v, w) ->
+        let c = clock t in
+        Hashtbl.replace clocks t c;
+        Hashtbl.replace history v
+          ((t, c, w) :: Option.value ~default:[] (Hashtbl.find_opt history v)))
+    ops;
+  Hashtbl.fold
+    (fun v accs acc ->
+      let arr = Array.of_list accs in
+      let racy = ref false in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          let t1, c1, w1 = arr.(i) and t2, c2, w2 = arr.(j) in
+          if t1 <> t2 && (w1 || w2) then
+            if not (Vclock.leq c1 c2 || Vclock.leq c2 c1) then racy := true
+        done
+      done;
+      if !racy then v :: acc else acc)
+    history []
+  |> List.sort_uniq Int.compare
+
+let fasttrack_racy_vars ops : int list =
+  let ft = Fasttrack.create () in
+  List.iter (Fasttrack.observer ft) (events_of_ops ops);
+  Fasttrack.reports ft
+  |> List.map (fun (r : Race.report) -> r.Race.r_first.Race.a_obj - 1000)
+  |> List.sort_uniq Int.compare
+
+let agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"fasttrack = naive HB oracle (racy variables)"
+       ~count:1000 arb_trace (fun ops ->
+         naive_racy_vars ops = fasttrack_racy_vars ops))
+
+let djit_racy_vars ops : int list =
+  let d = Djit.create () in
+  List.iter (Djit.observer d) (events_of_ops ops);
+  Djit.reports d
+  |> List.map (fun (r : Race.report) -> r.Race.r_first.Race.a_obj - 1000)
+  |> List.sort_uniq Int.compare
+
+let djit_agreement =
+  (* FastTrack's correctness theorem: the epoch optimization flags
+     exactly the variables the full-vector-clock Djit+ flags. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"fasttrack = djit+ (racy variables)" ~count:1000
+       arb_trace (fun ops -> djit_racy_vars ops = fasttrack_racy_vars ops))
+
+let djit_vs_naive =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"djit+ = naive HB oracle (racy variables)"
+       ~count:1000 arb_trace (fun ops -> djit_racy_vars ops = naive_racy_vars ops))
+
+let eraser_superset =
+  (* Lockset candidates over-approximate happens-before races on these
+     traces (no fork/join edges involved): every FastTrack-racy variable
+     must also have a lockset candidate. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"lockset candidates ⊇ HB races" ~count:1000
+       arb_trace (fun ops ->
+         let ls = Lockset.create () in
+         List.iter (Lockset.observer ls) (events_of_ops ops);
+         let ls_vars =
+           Lockset.candidates ls
+           |> List.map (fun (r : Race.report) -> r.Race.r_first.Race.a_obj - 1000)
+           |> List.sort_uniq Int.compare
+         in
+         List.for_all (fun v -> List.mem v ls_vars) (fasttrack_racy_vars ops)))
+
+let () =
+  Alcotest.run "fasttrack-oracle"
+    [ ("properties", [ agreement; djit_agreement; djit_vs_naive; eraser_superset ]) ]

@@ -1,0 +1,104 @@
+(* Lexer unit tests. *)
+
+open Jir.Lexer
+
+let toks src = Array.to_list (Array.map (fun l -> l.tok) (tokenize src))
+
+let check_toks name src expected =
+  Alcotest.(check (list string))
+    name
+    (expected @ [ "<eof>" ])
+    (List.map token_to_string (toks src))
+
+let test_idents_keywords () =
+  check_toks "keywords vs idents" "class classes interface if iffy"
+    [ "class"; "classes"; "interface"; "if"; "iffy" ]
+
+let test_numbers () =
+  check_toks "numbers" "0 7 123456" [ "0"; "7"; "123456" ]
+
+let test_operators () =
+  check_toks "operators" "+ - * / % < <= > >= == != && || ! ="
+    [ "+"; "-"; "*"; "/"; "%"; "<"; "<="; ">"; ">="; "=="; "!="; "&&"; "||"; "!"; "=" ]
+
+let test_punctuation () =
+  check_toks "punctuation" "( ) { } [ ] ; , ."
+    [ "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "." ]
+
+let test_no_space () =
+  check_toks "dense input" "x.f[i]=y+1;"
+    [ "x"; "."; "f"; "["; "i"; "]"; "="; "y"; "+"; "1"; ";" ]
+
+let test_string_literal () =
+  match toks {|"hello world"|} with
+  | [ STRING s; EOF ] -> Alcotest.(check string) "content" "hello world" s
+  | _ -> Alcotest.fail "expected one string literal"
+
+let test_string_escapes () =
+  match toks {|"a\nb\t\\\"c"|} with
+  | [ STRING s; EOF ] -> Alcotest.(check string) "escapes" "a\nb\t\\\"c" s
+  | _ -> Alcotest.fail "expected one string literal"
+
+let test_line_comment () =
+  check_toks "line comment" "x // everything ignored\ny" [ "x"; "y" ]
+
+let test_block_comment () =
+  check_toks "block comment" "x /* ** / inner */ y" [ "x"; "y" ]
+
+let test_positions () =
+  let lexed = tokenize "a\n  b" in
+  Alcotest.(check int) "a line" 1 lexed.(0).tpos.Jir.Ast.line;
+  Alcotest.(check int) "a col" 0 lexed.(0).tpos.Jir.Ast.col;
+  Alcotest.(check int) "b line" 2 lexed.(1).tpos.Jir.Ast.line;
+  Alcotest.(check int) "b col" 2 lexed.(1).tpos.Jir.Ast.col
+
+let expect_error name src =
+  match tokenize src with
+  | _ -> Alcotest.fail (name ^ ": expected a lexical error")
+  | exception Jir.Diag.Error _ -> ()
+
+let test_unterminated_string () = expect_error "unterminated" "\"abc"
+let test_unterminated_comment () = expect_error "comment" "/* abc"
+let test_bad_char () = expect_error "bad char" "a # b"
+let test_bad_escape () = expect_error "bad escape" {|"a\qb"|}
+
+let test_empty_input () =
+  Alcotest.(check int) "just eof" 1 (List.length (toks ""))
+
+let test_eof_terminated () =
+  let lexed = tokenize "class A" in
+  Alcotest.(check bool) "ends with EOF" true
+    (lexed.(Array.length lexed - 1).tok = EOF)
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ( "tokens",
+        [
+          Alcotest.test_case "keywords" `Quick test_idents_keywords;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "punctuation" `Quick test_punctuation;
+          Alcotest.test_case "dense" `Quick test_no_space;
+          Alcotest.test_case "string" `Quick test_string_literal;
+          Alcotest.test_case "escapes" `Quick test_string_escapes;
+        ] );
+      ( "comments",
+        [
+          Alcotest.test_case "line" `Quick test_line_comment;
+          Alcotest.test_case "block" `Quick test_block_comment;
+        ] );
+      ( "positions",
+        [
+          Alcotest.test_case "line/col" `Quick test_positions;
+          Alcotest.test_case "empty" `Quick test_empty_input;
+          Alcotest.test_case "eof" `Quick test_eof_terminated;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "unterminated string" `Quick test_unterminated_string;
+          Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+          Alcotest.test_case "bad char" `Quick test_bad_char;
+          Alcotest.test_case "bad escape" `Quick test_bad_escape;
+        ] );
+    ]

@@ -1,0 +1,398 @@
+(* Virtual machine tests: evaluation, objects, dispatch, monitors,
+   threads, crashes, intrinsics, determinism. *)
+
+open Runtime
+
+let run_main ?(seed = 42L) src =
+  let cu = Jir.Compile.compile_source src in
+  Interp.run_main ~seed cu ~cls:"Main"
+
+let expect_int name src expected =
+  match run_main src with
+  | Ok (Some (Value.Vint n)), _ -> Alcotest.(check int) name expected n
+  | Ok v, _ ->
+    Alcotest.failf "%s: expected int, got %s" name
+      (match v with Some v -> Value.to_string v | None -> "nothing")
+  | Error e, _ -> Alcotest.failf "%s: crashed: %s" name e
+
+let expect_crash name src fragment =
+  match run_main src with
+  | Error e, _ ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      nn = 0 || go 0
+    in
+    if not (contains e fragment) then
+      Alcotest.failf "%s: crash %S does not mention %S" name e fragment
+  | Ok _, _ -> Alcotest.failf "%s: expected a crash" name
+
+let wrap body = "class Main { static int main() { " ^ body ^ " } }"
+
+let test_arith () =
+  expect_int "arith" (wrap "return 2 + 3 * 4 - 10 / 2;") 9;
+  expect_int "mod" (wrap "return 17 % 5;") 2;
+  expect_int "neg" (wrap "int x = 5; return -x + 1;") (-4);
+  expect_int "cmp"
+    (wrap "if (3 < 4 && 4 <= 4 && 5 > 4 && 5 >= 5 && 1 == 1 && 1 != 2) { return 1; } return 0;")
+    1
+
+let test_short_circuit () =
+  (* The right operand must not be evaluated: it would crash. *)
+  expect_int "and shortcut"
+    "class Main { static bool boom() { throw \"boom\"; } static int main() { \
+     bool b = false && Main.boom(); if (b) { return 1; } return 0; } }"
+    0;
+  expect_int "or shortcut"
+    "class Main { static bool boom() { throw \"boom\"; } static int main() { \
+     bool b = true || Main.boom(); if (b) { return 1; } return 0; } }"
+    1
+
+let test_control_flow () =
+  expect_int "while loop" (wrap "int s = 0; int i = 1; while (i <= 10) { s = s + i; i = i + 1; } return s;") 55;
+  expect_int "nested if"
+    (wrap "int x = 7; if (x > 5) { if (x > 6) { return 2; } return 1; } return 0;")
+    2
+
+let test_objects () =
+  expect_int "fields and methods"
+    "class P { int x; int y; P(int x, int y) { this.x = x; this.y = y; } int \
+     sum() { return this.x + this.y; } } class Main { static int main() { P \
+     p = new P(3, 4); return p.sum(); } }"
+    7;
+  expect_int "field init runs"
+    "class A { int x = 41; } class Main { static int main() { A a = new A(); \
+     return a.x + 1; } }"
+    42;
+  expect_int "inherited field init order"
+    "class B { int x = 1; } class A extends B { int y = 2; A() { this.y = \
+     this.x + this.y; } } class Main { static int main() { A a = new A(); \
+     return a.y; } }"
+    3
+
+let test_dispatch () =
+  expect_int "virtual dispatch"
+    "class B { int f() { return 1; } } class A extends B { int f() { return \
+     2; } } class Main { static int main() { B b = new A(); return b.f(); } }"
+    2;
+  expect_int "interface dispatch"
+    "interface I { int f(); } class A implements I { int f() { return 5; } } \
+     class Main { static int main() { I i = new A(); return i.f(); } }"
+    5;
+  expect_int "inherited concrete method"
+    "class B { int f() { return this.g(); } int g() { return 1; } } class A \
+     extends B { int g() { return 9; } } class Main { static int main() { A \
+     a = new A(); return a.f(); } }"
+    9
+
+let test_statics () =
+  expect_int "static fields and clinit"
+    "class Cfg { static int base = 40; static int get() { return Cfg.base; } \
+     } class Main { static int main() { Cfg.base = Cfg.base + 1; return \
+     Cfg.get() + 1; } }"
+    42
+
+let test_arrays () =
+  expect_int "array rw" (wrap "int[] a = new int[3]; a[1] = 7; return a[1] + a.length;") 10;
+  expect_int "arraycopy"
+    (wrap
+       "int[] a = new int[5]; a[0] = 1; a[1] = 2; Sys.arraycopy(a, 0, a, 2, 2); return a[2] * 10 + a[3];")
+    12;
+  expect_int "object arrays"
+    "class P { int v; P(int v) { this.v = v; } } class Main { static int \
+     main() { P[] ps = new P[2]; ps[0] = new P(6); return ps[0].v; } }"
+    6
+
+let test_strings () =
+  expect_int "string intrinsics"
+    (wrap "str s = Sys.concat(\"ab\", \"cd\"); return Sys.strlen(s) * 100 + Sys.charAt(s, 1);")
+    498
+
+let test_crashes () =
+  expect_crash "npe"
+    "class P { int f() { return 1; } } class Main { static int main() { P p \
+     = null; return p.f(); } }"
+    "null pointer";
+  expect_crash "div by zero" (wrap "int z = 0; return 1 / z;") "division by zero";
+  expect_crash "array oob" (wrap "int[] a = new int[2]; return a[5];") "out of bounds";
+  expect_crash "negative array size" (wrap "int[] a = new int[0 - 1]; return 0;") "negative";
+  expect_crash "assert" (wrap "assert 1 == 2; return 0;") "assertion failed";
+  expect_crash "throw" (wrap "throw \"custom failure\";") "custom failure"
+
+let test_crash_mentions_npe_method () =
+  (* A second method so the receiver type exists. *)
+  expect_crash "npe via field"
+    "class P { int v; } class Main { static int main() { P p = null; return \
+     p.v; } }"
+    "null pointer"
+
+let test_monitor_reentrancy () =
+  expect_int "reentrant sync methods"
+    "class A { synchronized int outer() { return this.inner() + 1; } \
+     synchronized int inner() { return 1; } } class Main { static int main() \
+     { A a = new A(); return a.outer(); } }"
+    2;
+  expect_int "nested sync blocks"
+    "class A { int v; void m() { synchronized (this) { synchronized (this) { \
+     this.v = 5; } } } int get() { return this.v; } } class Main { static \
+     int main() { A a = new A(); a.m(); return a.get(); } }"
+    5
+
+let test_spawn_join () =
+  let cu = Jir.Compile.compile_source Testlib.Fixtures.safe_counter in
+  let r, m =
+    Conc.Exec.run_program cu ~client_classes:[ "Main" ] ~cls:"Main"
+      ~meth:"main" (Conc.Scheduler.random ~seed:3L)
+  in
+  Alcotest.(check bool) "finished" true (r.Conc.Exec.outcome = Conc.Exec.All_finished);
+  Alcotest.(check (list (pair int string))) "no crashes" [] r.Conc.Exec.crashes;
+  (* The synchronized counter always reaches exactly 2. *)
+  match Machine.status m 0 with
+  | Machine.Finished (Some (Value.Vint 2)) -> ()
+  | s ->
+    Alcotest.failf "expected main to return 2, got %s"
+      (match s with
+      | Machine.Finished (Some v) -> Value.to_string v
+      | Machine.Finished None -> "()"
+      | Machine.Crashed e -> "crash " ^ e
+      | Machine.Runnable | Machine.Blocked_lock _ | Machine.Blocked_join _
+      | Machine.Suspended ->
+        "not finished")
+
+let test_lost_update_exists () =
+  (* Under some schedule the racy counter loses an update.  Exhaustively
+     try seeds; at least one must yield 1 and at least one 2. *)
+  let cu = Jir.Compile.compile_source Testlib.Fixtures.racy_counter in
+  let results = ref [] in
+  for seed = 1 to 60 do
+    let r, m =
+      Conc.Exec.run_program cu ~client_classes:[ "Main" ] ~cls:"Main"
+        ~meth:"main"
+        (Conc.Scheduler.random ~seed:(Int64.of_int seed))
+    in
+    Alcotest.(check (list (pair int string))) "no crashes" [] r.Conc.Exec.crashes;
+    match Machine.status m 0 with
+    | Machine.Finished (Some (Value.Vint n)) -> results := n :: !results
+    | _ -> Alcotest.fail "did not finish"
+  done;
+  Alcotest.(check bool) "some schedule loses an update" true (List.mem 1 !results);
+  Alcotest.(check bool) "some schedule is clean" true (List.mem 2 !results)
+
+let test_blocked_lock () =
+  (* Thread 1 holds the monitor; thread 2 blocks until it is released. *)
+  let src =
+    "class A { int v; synchronized void slow() { int i = 0; while (i < 50) { \
+     i = i + 1; } this.v = this.v + 1; } } class Main { static int main() { \
+     A a = new A(); thread t1 = spawn a.slow(); thread t2 = spawn a.slow(); \
+     join t1; join t2; return a.v; } }"
+  in
+  let cu = Jir.Compile.compile_source src in
+  for seed = 1 to 10 do
+    let _r, m =
+      Conc.Exec.run_program cu ~client_classes:[ "Main" ] ~cls:"Main"
+        ~meth:"main"
+        (Conc.Scheduler.random ~seed:(Int64.of_int seed))
+    in
+    match Machine.status m 0 with
+    | Machine.Finished (Some (Value.Vint 2)) -> ()
+    | _ -> Alcotest.fail "monitor failed to serialize increments"
+  done
+
+let test_deadlock_detected () =
+  let cu = Jir.Compile.compile_source Testlib.Fixtures.deadlock in
+  let deadlocks = ref 0 in
+  for seed = 1 to 40 do
+    let r, _m =
+      Conc.Exec.run_program cu ~client_classes:[ "Main" ] ~cls:"Main"
+        ~meth:"main"
+        (Conc.Scheduler.random ~seed:(Int64.of_int seed))
+    in
+    match r.Conc.Exec.outcome with
+    | Conc.Exec.Deadlock tids ->
+      incr deadlocks;
+      Alcotest.(check bool) "two threads involved" true (List.length tids >= 2)
+    | Conc.Exec.All_finished | Conc.Exec.Fuel_exhausted -> ()
+  done;
+  Alcotest.(check bool) "some schedule deadlocks" true (!deadlocks > 0)
+
+let test_crash_releases_monitors () =
+  (* A thread that throws inside synchronized must release the lock so
+     others can proceed. *)
+  let src =
+    "class A { int v; synchronized void boom() { this.v = 1; throw \"bad\"; \
+     } synchronized void ok() { this.v = 2; } } class Main { static int \
+     main() { A a = new A(); thread t1 = spawn a.boom(); join t1; thread t2 \
+     = spawn a.ok(); join t2; return a.v; } }"
+  in
+  let cu = Jir.Compile.compile_source src in
+  let r, m =
+    Conc.Exec.run_program cu ~client_classes:[ "Main" ] ~cls:"Main" ~meth:"main"
+      (Conc.Scheduler.round_robin ())
+  in
+  Alcotest.(check int) "one crash" 1 (List.length r.Conc.Exec.crashes);
+  match Machine.status m 0 with
+  | Machine.Finished (Some (Value.Vint 2)) -> ()
+  | _ -> Alcotest.fail "lock was not released after the crash"
+
+let test_rand_deterministic () =
+  let src = wrap "return Sys.randInt(1000) * 1000 + Sys.randInt(1000);" in
+  let v1 = run_main ~seed:9L src and v2 = run_main ~seed:9L src in
+  let v3 = run_main ~seed:10L src in
+  (match (v1, v2) with
+  | (Ok (Some a), _), (Ok (Some b), _) ->
+    Alcotest.(check bool) "same seed, same stream" true (Value.equal a b)
+  | _ -> Alcotest.fail "rand run failed");
+  match (v1, v3) with
+  | (Ok (Some a), _), (Ok (Some b), _) ->
+    Alcotest.(check bool) "different seed, different stream" false
+      (Value.equal a b)
+  | _ -> Alcotest.fail "rand run failed"
+
+let test_print_output () =
+  let cu =
+    Jir.Compile.compile_source
+      "class Main { static void main() { Sys.print(42); Sys.print(true); \
+       Sys.print(\"hi\"); } }"
+  in
+  let _res, out = Interp.run_main cu ~cls:"Main" in
+  Alcotest.(check string) "captured output" "42\ntrue\n\"hi\"\n" out
+
+let test_construct_api () =
+  let cu =
+    Jir.Compile.compile_source
+      "class P { int v; int w = 3; P(int v) { this.v = v; } int sum() { \
+       return this.v + this.w; } }"
+  in
+  let m = Machine.create cu in
+  match Machine.construct m ~cls:"P" ~args:[ Value.Vint 4 ] () with
+  | Error e -> Alcotest.fail e
+  | Ok recv -> (
+    match Jir.Code.find_virtual cu "P" "sum" with
+    | None -> Alcotest.fail "no sum"
+    | Some cm -> (
+      match Machine.call m ~cm ~recv:(Some recv) ~args:[] () with
+      | Ok (Some (Value.Vint 7)) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "construct+call broken"))
+
+let test_deref_path () =
+  let cu = Jir.Compile.compile_source Testlib.Fixtures.fig1 in
+  let m = Machine.create ~client_classes:[ "Seed" ] cu in
+  match Machine.construct m ~cls:"Lib" ~args:[] () with
+  | Error e -> Alcotest.fail e
+  | Ok lib -> (
+    match Machine.deref_path m lib [ "c"; "count" ] with
+    | Some (Value.Vint 0) -> ()
+    | Some v -> Alcotest.failf "expected 0, got %s" (Value.to_string v)
+    | None -> Alcotest.fail "path did not resolve")
+
+let test_for_loops () =
+  expect_int "for sum" (wrap "int s = 0; for (int i = 1; i <= 10; i = i + 1) { s = s + i; } return s;") 55;
+  expect_int "for no init"
+    (wrap "int i = 0; int s = 0; for (; i < 3; i = i + 1) { s = s + 10; } return s;")
+    30;
+  expect_int "for no update"
+    (wrap "int s = 0; for (int i = 0; i < 3;) { s = s + 1; i = i + 1; } return s;")
+    3;
+  expect_int "nested for"
+    (wrap
+       "int s = 0; for (int i = 0; i < 3; i = i + 1) { for (int j = 0; j < 3;         j = j + 1) { s = s + 1; } } return s;")
+    9
+
+let test_break_continue () =
+  expect_int "break"
+    (wrap "int s = 0; for (int i = 0; i < 100; i = i + 1) { if (i == 5) { break; } s = s + 1; } return s;")
+    5;
+  expect_int "continue"
+    (wrap "int s = 0; for (int i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { continue; } s = s + 1; } return s;")
+    5;
+  expect_int "break in while"
+    (wrap "int i = 0; while (true) { i = i + 1; if (i == 7) { break; } } return i;")
+    7;
+  expect_int "continue in while"
+    (wrap
+       "int i = 0; int s = 0; while (i < 6) { i = i + 1; if (i == 3) {         continue; } s = s + i; } return s;")
+    18;
+  expect_int "break inner loop only"
+    (wrap
+       "int s = 0; for (int i = 0; i < 3; i = i + 1) { for (int j = 0; j <         10; j = j + 1) { if (j == 2) { break; } s = s + 1; } } return s;")
+    6
+
+let test_break_releases_monitor () =
+  (* break out of a synchronized block inside the loop must release the
+     monitor so a second use of the object still works. *)
+  expect_int "break exits sync block"
+    "class A { int v; int m() { for (int i = 0; i < 5; i = i + 1) {      synchronized (this) { if (i == 2) { break; } this.v = this.v + 1; } }      synchronized (this) { this.v = this.v + 10; } return this.v; } } class      Main { static int main() { A a = new A(); return a.m(); } }"
+    12
+
+let test_continue_releases_monitor () =
+  expect_int "continue exits sync block"
+    "class A { int v; int m() { for (int i = 0; i < 4; i = i + 1) {      synchronized (this) { if (i % 2 == 0) { continue; } this.v = this.v + 1;      } } return this.v; } } class Main { static int main() { A a = new A();      return a.m(); } }"
+    2
+
+let test_typecheck_loop_placement () =
+  (match Jir.Compile.compile_source "class A { void m() { break; } }" with
+  | _ -> Alcotest.fail "break outside loop must be rejected"
+  | exception Jir.Diag.Error _ -> ());
+  match Jir.Compile.compile_source "class A { void m() { continue; } }" with
+  | _ -> Alcotest.fail "continue outside loop must be rejected"
+  | exception Jir.Diag.Error _ -> ()
+
+let test_for_roundtrip () =
+  let src =
+    "class A { int m() { int s = 0; for (int i = 0; i < 4; i = i + 1) { if      (i == 2) { continue; } s = s + i; } return s; } }"
+  in
+  let p1 = Jir.Pretty.program_to_string (Jir.Parser.parse_program src) in
+  let p2 = Jir.Pretty.program_to_string (Jir.Parser.parse_program p1) in
+  Alcotest.(check string) "for round-trips" p1 p2
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "evaluation",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "strings" `Quick test_strings;
+        ] );
+      ( "objects",
+        [
+          Alcotest.test_case "fields and ctors" `Quick test_objects;
+          Alcotest.test_case "dispatch" `Quick test_dispatch;
+          Alcotest.test_case "statics" `Quick test_statics;
+          Alcotest.test_case "arrays" `Quick test_arrays;
+        ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "runtime errors" `Quick test_crashes;
+          Alcotest.test_case "npe on field" `Quick test_crash_mentions_npe_method;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "monitors reenter" `Quick test_monitor_reentrancy;
+          Alcotest.test_case "spawn/join" `Quick test_spawn_join;
+          Alcotest.test_case "lost update exists" `Quick test_lost_update_exists;
+          Alcotest.test_case "monitor blocks" `Quick test_blocked_lock;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "crash releases monitors" `Quick
+            test_crash_releases_monitors;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "for" `Quick test_for_loops;
+          Alcotest.test_case "break/continue" `Quick test_break_continue;
+          Alcotest.test_case "break frees monitor" `Quick test_break_releases_monitor;
+          Alcotest.test_case "continue frees monitor" `Quick
+            test_continue_releases_monitor;
+          Alcotest.test_case "placement checks" `Quick test_typecheck_loop_placement;
+          Alcotest.test_case "for round-trip" `Quick test_for_roundtrip;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "rand deterministic" `Quick test_rand_deterministic;
+          Alcotest.test_case "print capture" `Quick test_print_output;
+          Alcotest.test_case "construct" `Quick test_construct_api;
+          Alcotest.test_case "deref_path" `Quick test_deref_path;
+        ] );
+    ]
+

@@ -1,0 +1,146 @@
+(* Racy-pair generation tests (§3.3). *)
+
+open Narada_core
+
+let pairs_of src =
+  let an = Testlib.Fixtures.analyze src in
+  an.Pipeline.an_pairs
+
+let test_fig1_pairs () =
+  let pairs = pairs_of Testlib.Fixtures.fig1 in
+  (* all pairs race on count; update×update and update×get must appear *)
+  List.iter
+    (fun p -> Alcotest.(check string) "field" "count" p.Pairs.p_field)
+    pairs;
+  let has qa qb =
+    List.exists
+      (fun (p : Pairs.pair) ->
+        (p.Pairs.p_a.Pairs.ep_qname = qa && p.Pairs.p_b.Pairs.ep_qname = qb)
+        || (p.Pairs.p_a.Pairs.ep_qname = qb && p.Pairs.p_b.Pairs.ep_qname = qa))
+      pairs
+  in
+  Alcotest.(check bool) "update x update" true (has "Lib.update" "Lib.update");
+  Alcotest.(check bool) "update x get" true (has "Lib.update" "Counter.get")
+
+let test_at_least_one_write () =
+  List.iter
+    (fun (p : Pairs.pair) ->
+      Alcotest.(check bool) "one side writes" true
+        (p.Pairs.p_a.Pairs.ep_kind = Access.Kwrite
+        || p.Pairs.p_b.Pairs.ep_kind = Access.Kwrite))
+    (pairs_of Testlib.Fixtures.fig1)
+
+let test_no_ctor_endpoints () =
+  List.iter
+    (fun (p : Pairs.pair) ->
+      List.iter
+        (fun (e : Pairs.endpoint) ->
+          Alcotest.(check bool) "no constructor endpoints" false
+            (String.equal e.Pairs.ep_meth Jir.Ast.ctor_name
+            && e.Pairs.ep_site.Runtime.Event.s_meth
+               |> String.split_on_char '.'
+               |> List.exists (String.equal "<init>")))
+        [ p.Pairs.p_a; p.Pairs.p_b ])
+    (pairs_of Testlib.Fixtures.fig1)
+
+let test_no_protected_only_pairs () =
+  (* A fully synchronized class yields no pairs. *)
+  let src =
+    {|
+class Safe {
+  int v;
+  synchronized void set(int x) { this.v = x; }
+  synchronized int get() { return this.v; }
+}
+class Seed {
+  static void main() {
+    Safe s = new Safe();
+    s.set(3);
+    int x = s.get();
+  }
+}
+|}
+  in
+  Alcotest.(check int) "no pairs" 0 (List.length (pairs_of src))
+
+let test_unsync_class_pairs () =
+  (* A fully unsynchronized class yields write/write and read/write pairs. *)
+  let src =
+    {|
+class Unsafe {
+  int v;
+  void set(int x) { this.v = x; }
+  int get() { return this.v; }
+}
+class Seed {
+  static void main() {
+    Unsafe s = new Unsafe();
+    s.set(3);
+    int x = s.get();
+  }
+}
+|}
+  in
+  let pairs = pairs_of src in
+  Alcotest.(check bool) "some pairs" true (List.length pairs >= 2);
+  Alcotest.(check bool) "set x set same-label pair" true
+    (List.exists
+       (fun (p : Pairs.pair) ->
+         p.Pairs.p_a.Pairs.ep_qname = "Unsafe.set"
+         && p.Pairs.p_b.Pairs.ep_qname = "Unsafe.set")
+       pairs)
+
+let test_read_read_excluded () =
+  let src =
+    {|
+class R {
+  int v;
+  int get() { return this.v; }
+  int peek() { return this.v; }
+}
+class Seed {
+  static void main() {
+    R r = new R();
+    int a = r.get();
+    int b = r.peek();
+  }
+}
+|}
+  in
+  (* reads only: no write anywhere, so no racy pair *)
+  Alcotest.(check int) "no read-read pairs" 0 (List.length (pairs_of src))
+
+let test_dedup_by_site () =
+  let pairs = pairs_of Testlib.Fixtures.fig1 in
+  let keys = List.map Pairs.key_of pairs in
+  let uniq = List.sort_uniq compare keys in
+  Alcotest.(check int) "no duplicate pairs" (List.length uniq) (List.length keys)
+
+let test_owner_class_compat () =
+  List.iter
+    (fun (p : Pairs.pair) ->
+      match (p.Pairs.p_a.Pairs.ep_owner_cls, p.Pairs.p_b.Pairs.ep_owner_cls) with
+      | Some a, Some b -> Alcotest.(check string) "same owner class" a b
+      | _ -> ())
+    (pairs_of Testlib.Fixtures.fig13)
+
+let () =
+  Alcotest.run "pairs"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "fig1 pairs" `Quick test_fig1_pairs;
+          Alcotest.test_case "one write" `Quick test_at_least_one_write;
+          Alcotest.test_case "no ctor endpoints" `Quick test_no_ctor_endpoints;
+          Alcotest.test_case "dedup" `Quick test_dedup_by_site;
+          Alcotest.test_case "owner compat" `Quick test_owner_class_compat;
+        ] );
+      ( "filtering",
+        [
+          Alcotest.test_case "synchronized class clean" `Quick
+            test_no_protected_only_pairs;
+          Alcotest.test_case "unsynchronized class racy" `Quick
+            test_unsync_class_pairs;
+          Alcotest.test_case "read-read excluded" `Quick test_read_read_excluded;
+        ] );
+    ]

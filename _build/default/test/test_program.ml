@@ -1,0 +1,150 @@
+(* Class-table (Program) API tests: inheritance chains, field layout,
+   virtual/interface/static resolution, subtyping. *)
+
+open Jir
+
+let table src = Program.of_ast (Parser.parse_program src)
+
+let hierarchy =
+  table
+    {|
+interface Shape {
+  int area();
+}
+
+interface Named {
+  str name();
+}
+
+class Base {
+  int b;
+  int common() { return 1; }
+  int overridden() { return 1; }
+}
+
+class Mid extends Base implements Shape {
+  int m;
+  int area() { return this.b * this.m; }
+  int overridden() { return 2; }
+}
+
+class Leaf extends Mid implements Named {
+  int l;
+  Leaf(int x) { this.l = x; }
+  str name() { return "leaf"; }
+}
+|}
+
+let test_ancestors () =
+  let names =
+    List.map (fun (c : Ast.class_decl) -> c.Ast.c_name) (Program.ancestors hierarchy "Leaf")
+  in
+  Alcotest.(check (list string)) "chain" [ "Leaf"; "Mid"; "Base" ] names
+
+let test_instance_fields_order () =
+  let names =
+    List.map (fun (f : Ast.field_decl) -> f.Ast.f_name)
+      (Program.instance_fields hierarchy "Leaf")
+  in
+  Alcotest.(check (list string)) "super fields first" [ "b"; "m"; "l" ] names
+
+let test_virtual_resolution () =
+  (match Program.resolve_method hierarchy "Leaf" "overridden" with
+  | Some (cls, _) -> Alcotest.(check string) "nearest override" "Mid" cls
+  | None -> Alcotest.fail "not resolved");
+  (match Program.resolve_method hierarchy "Leaf" "common" with
+  | Some (cls, _) -> Alcotest.(check string) "inherited" "Base" cls
+  | None -> Alcotest.fail "not resolved");
+  Alcotest.(check bool) "missing method" true
+    (Program.resolve_method hierarchy "Leaf" "nope" = None)
+
+let test_interface_resolution () =
+  (match Program.resolve_interface_method hierarchy "Shape" "area" with
+  | Some (iface, m) ->
+    Alcotest.(check string) "defining interface" "Shape" iface;
+    Alcotest.(check bool) "abstract" true m.Ast.m_abstract
+  | None -> Alcotest.fail "not resolved");
+  Alcotest.(check bool) "unknown" true
+    (Program.resolve_interface_method hierarchy "Shape" "name" = None)
+
+let test_implemented_interfaces () =
+  let ifaces = List.sort compare (Program.implemented_interfaces hierarchy "Leaf") in
+  Alcotest.(check (list string)) "transitive" [ "Named"; "Shape" ] ifaces
+
+let test_subtyping () =
+  let sub a b =
+    Program.is_subtype hierarchy (Ast.Tclass a) (Ast.Tclass b)
+  in
+  Alcotest.(check bool) "reflexive" true (sub "Mid" "Mid");
+  Alcotest.(check bool) "to super" true (sub "Leaf" "Base");
+  Alcotest.(check bool) "to interface" true (sub "Leaf" "Shape");
+  Alcotest.(check bool) "inherited interface" true (sub "Leaf" "Named");
+  Alcotest.(check bool) "not downward" false (sub "Base" "Leaf");
+  Alcotest.(check bool) "unrelated interface" false (sub "Base" "Shape");
+  Alcotest.(check bool) "array invariant" false
+    (Program.is_subtype hierarchy
+       (Ast.Tarray (Ast.Tclass "Leaf"))
+       (Ast.Tarray (Ast.Tclass "Base")));
+  Alcotest.(check bool) "array same" true
+    (Program.is_subtype hierarchy
+       (Ast.Tarray Ast.Tint)
+       (Ast.Tarray Ast.Tint))
+
+let test_concrete_methods () =
+  let names =
+    List.sort compare
+      (List.map (fun (_, (m : Ast.method_decl)) -> m.Ast.m_name)
+         (Program.concrete_methods hierarchy "Leaf"))
+  in
+  Alcotest.(check (list string)) "all concrete, ctor excluded"
+    [ "area"; "common"; "name"; "overridden" ]
+    names
+
+let test_ctors () =
+  Alcotest.(check int) "Leaf has one ctor" 1
+    (List.length (Program.constructors hierarchy "Leaf"));
+  Alcotest.(check int) "Base has none" 0
+    (List.length (Program.constructors hierarchy "Base"))
+
+let test_statics () =
+  let t =
+    table
+      "class S { static int x = 1; int y; static int f() { return S.x; } int \
+       g() { return this.y; } }"
+  in
+  Alcotest.(check bool) "static field found" true
+    (Program.find_static_field t "S" "x" <> None);
+  Alcotest.(check bool) "instance field not static" true
+    (Program.find_static_field t "S" "y" = None);
+  Alcotest.(check bool) "static method" true
+    (Program.resolve_static_method t "S" "f" <> None);
+  Alcotest.(check bool) "instance method not static" true
+    (Program.resolve_static_method t "S" "g" = None)
+
+let test_diag_positions () =
+  (* Errors must carry a usable source position. *)
+  match Parser.parse_program "class A {\n  int x = ;\n}" with
+  | _ -> Alcotest.fail "expected a syntax error"
+  | exception Diag.Error d ->
+    Alcotest.(check int) "line" 2 d.Diag.pos.Ast.line;
+    Alcotest.(check bool) "message mentions expression" true
+      (String.length (Diag.to_string d) > 5)
+
+let () =
+  Alcotest.run "program"
+    [
+      ( "hierarchy",
+        [
+          Alcotest.test_case "ancestors" `Quick test_ancestors;
+          Alcotest.test_case "field layout" `Quick test_instance_fields_order;
+          Alcotest.test_case "virtual resolution" `Quick test_virtual_resolution;
+          Alcotest.test_case "interface resolution" `Quick test_interface_resolution;
+          Alcotest.test_case "implemented interfaces" `Quick
+            test_implemented_interfaces;
+          Alcotest.test_case "subtyping" `Quick test_subtyping;
+          Alcotest.test_case "concrete methods" `Quick test_concrete_methods;
+          Alcotest.test_case "constructors" `Quick test_ctors;
+          Alcotest.test_case "statics" `Quick test_statics;
+        ] );
+      ("diagnostics", [ Alcotest.test_case "positions" `Quick test_diag_positions ]);
+    ]

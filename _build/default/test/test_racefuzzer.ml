@@ -1,0 +1,143 @@
+(* RaceFuzzer-style directed scheduling and harmful/benign triage. *)
+
+open Detect
+
+(* Build an instantiator for a plain two-thread program (entry spawns
+   both threads itself would hide them, so spawn here from the harness). *)
+let instantiator_of src ~cls ~meths : Racefuzzer.instantiator =
+ fun () ->
+  let cu = Jir.Compile.compile_source src in
+  let m = Runtime.Machine.create ~client_classes:[ "Harness" ] cu in
+  match Runtime.Machine.construct m ~cls ~args:[] () with
+  | Error e -> Error e
+  | Ok recv ->
+    let spawn meth =
+      match Jir.Code.find_virtual cu cls meth with
+      | Some cm ->
+        Ok (Runtime.Machine.new_thread m ~client:true ~cm ~recv:(Some recv) ~args:[] ())
+      | None -> Error ("no method " ^ meth)
+    in
+    (match meths with
+    | [ m1; m2 ] -> (
+      match (spawn m1, spawn m2) with
+      | Ok t1, Ok t2 ->
+        Ok
+          {
+            Racefuzzer.ri_machine = m;
+            ri_threads = [ t1; t2 ];
+            ri_roots = [ recv ];
+          }
+      | Error e, _ | _, Error e -> Error e)
+    | _ -> Error "need two methods")
+
+let counter_src =
+  "class C { int count; void inc() { this.count = this.count + 1; } \
+   synchronized void sinc() { this.count = this.count + 1; } void reset() { \
+   this.count = 0; } int get() { return this.count; } }"
+
+let cand field = { Racefuzzer.c_field = field; c_sites = None }
+
+let test_confirms_real_race () =
+  let inst = instantiator_of counter_src ~cls:"C" ~meths:[ "inc"; "inc" ] in
+  let r = Racefuzzer.confirm ~instantiate:inst ~cand:(cand "count") () in
+  match r.Racefuzzer.confirmed with
+  | Some report ->
+    Alcotest.(check bool) "different threads" true
+      (report.Race.r_first.Race.a_tid <> report.Race.r_second.Race.a_tid);
+    Alcotest.(check string) "field" "count" report.Race.r_first.Race.a_field
+  | None -> Alcotest.fail "expected confirmation"
+
+let test_no_confirm_when_synchronized () =
+  let inst = instantiator_of counter_src ~cls:"C" ~meths:[ "sinc"; "sinc" ] in
+  let r = Racefuzzer.confirm ~instantiate:inst ~cand:(cand "count") ~runs:8 () in
+  Alcotest.(check bool) "no confirmation" true (r.Racefuzzer.confirmed = None)
+
+let test_confirm_is_deterministic () =
+  let inst = instantiator_of counter_src ~cls:"C" ~meths:[ "inc"; "inc" ] in
+  let r1 = Racefuzzer.confirm ~instantiate:inst ~cand:(cand "count") ~seed:3L () in
+  let r2 = Racefuzzer.confirm ~instantiate:inst ~cand:(cand "count") ~seed:3L () in
+  Alcotest.(check int) "same number of runs" r1.Racefuzzer.runs_used
+    r2.Racefuzzer.runs_used
+
+let test_candidate_of_report () =
+  let inst = instantiator_of counter_src ~cls:"C" ~meths:[ "inc"; "inc" ] in
+  match inst () with
+  | Error e -> Alcotest.fail e
+  | Ok i ->
+    let ls = Lockset.attach i.Racefuzzer.ri_machine in
+    ignore (Conc.Exec.run i.Racefuzzer.ri_machine (Conc.Scheduler.random ~seed:2L));
+    (match Lockset.candidates ls with
+    | r :: _ ->
+      let c = Racefuzzer.candidate_of_report r in
+      Alcotest.(check string) "field copied" "count" c.Racefuzzer.c_field;
+      Alcotest.(check bool) "sites narrowed" true (c.Racefuzzer.c_sites <> None)
+    | [] -> Alcotest.fail "no candidates")
+
+let test_triage_lost_update_harmful () =
+  let inst = instantiator_of counter_src ~cls:"C" ~meths:[ "inc"; "inc" ] in
+  match Triage.triage ~instantiate:inst ~cand:(cand "count") () with
+  | Ok Triage.Harmful -> ()
+  | Ok Triage.Benign -> Alcotest.fail "lost update must be harmful"
+  | Error e -> Alcotest.fail e
+
+let test_triage_const_reset_benign () =
+  let inst = instantiator_of counter_src ~cls:"C" ~meths:[ "reset"; "reset" ] in
+  match Triage.triage ~instantiate:inst ~cand:(cand "count") () with
+  | Ok Triage.Benign -> ()
+  | Ok Triage.Harmful -> Alcotest.fail "double reset to 0 is benign"
+  | Error e -> Alcotest.fail e
+
+let test_triage_stale_read_harmful () =
+  (* get() racing with inc(): the final heap is the same either way, but
+     get's observed value is order-sensitive — a stale read, harmful. *)
+  let inst = instantiator_of counter_src ~cls:"C" ~meths:[ "inc"; "get" ] in
+  match Triage.triage ~instantiate:inst ~cand:(cand "count") () with
+  | Ok Triage.Harmful -> ()
+  | Ok Triage.Benign -> Alcotest.fail "stale read must be harmful"
+  | Error e -> Alcotest.fail e
+
+let test_triage_read_of_constant_benign () =
+  (* get() racing with reset() on an already-zero counter: every order
+     reads 0 and leaves 0 — genuinely benign. *)
+  let inst = instantiator_of counter_src ~cls:"C" ~meths:[ "reset"; "get" ] in
+  match Triage.triage ~instantiate:inst ~cand:(cand "count") () with
+  | Ok Triage.Benign -> ()
+  | Ok Triage.Harmful -> Alcotest.fail "reading an unchanged constant is benign"
+  | Error e -> Alcotest.fail e
+
+let test_triage_crash_harmful () =
+  (* A close/use race that null-crashes in one order only. *)
+  let src =
+    "class R { int[] buf; R() { this.buf = new int[2]; } int read() { return \
+     this.buf[0]; } void close() { this.buf = null; } }"
+  in
+  let inst = instantiator_of src ~cls:"R" ~meths:[ "read"; "close" ] in
+  match Triage.triage ~instantiate:inst ~cand:(cand "buf") () with
+  | Ok Triage.Harmful -> ()
+  | Ok Triage.Benign -> Alcotest.fail "close/read race crashes: harmful"
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "racefuzzer"
+    [
+      ( "confirmation",
+        [
+          Alcotest.test_case "real race confirmed" `Quick test_confirms_real_race;
+          Alcotest.test_case "synchronized not confirmed" `Quick
+            test_no_confirm_when_synchronized;
+          Alcotest.test_case "deterministic" `Quick test_confirm_is_deterministic;
+          Alcotest.test_case "candidate narrowing" `Quick test_candidate_of_report;
+        ] );
+      ( "triage",
+        [
+          Alcotest.test_case "lost update harmful" `Quick
+            test_triage_lost_update_harmful;
+          Alcotest.test_case "const reset benign" `Quick
+            test_triage_const_reset_benign;
+          Alcotest.test_case "stale read harmful" `Quick
+            test_triage_stale_read_harmful;
+          Alcotest.test_case "constant read benign" `Quick
+            test_triage_read_of_constant_benign;
+          Alcotest.test_case "crash harmful" `Quick test_triage_crash_harmful;
+        ] );
+    ]

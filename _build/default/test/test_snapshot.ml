@@ -1,0 +1,134 @@
+(* Heap snapshot tests: canonicalization must be stable, isomorphic
+   across address renaming, sensitive to value changes, and terminate on
+   cycles. *)
+
+open Runtime
+
+let build_machine src =
+  Machine.create (Jir.Compile.compile_source src)
+
+let pair_src =
+  "class P { int v; P next; P(int v) { this.v = v; } }"
+
+let construct m ~cls ~args =
+  match Machine.construct m ~cls ~args () with
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let test_stable () =
+  let m = build_machine pair_src in
+  let p = construct m ~cls:"P" ~args:[ Value.Vint 3 ] in
+  let s1 = Snapshot.canonical (Machine.heap m) ~roots:[ p ] in
+  let s2 = Snapshot.canonical (Machine.heap m) ~roots:[ p ] in
+  Alcotest.(check bool) "same snapshot" true (s1 = s2)
+
+let test_isomorphic_across_allocations () =
+  (* Two machines allocate different addresses for structurally equal
+     heaps; snapshots must agree. *)
+  let mk () =
+    let m = build_machine pair_src in
+    (* burn a few allocations on the second machine to shift addresses *)
+    m
+  in
+  let m1 = mk () in
+  let p1 = construct m1 ~cls:"P" ~args:[ Value.Vint 3 ] in
+  let m2 = mk () in
+  let _burn = construct m2 ~cls:"P" ~args:[ Value.Vint 9 ] in
+  let p2 = construct m2 ~cls:"P" ~args:[ Value.Vint 3 ] in
+  let s1 = Snapshot.canonical (Machine.heap m1) ~roots:[ p1 ] in
+  let s2 = Snapshot.canonical (Machine.heap m2) ~roots:[ p2 ] in
+  Alcotest.(check bool) "isomorphic snapshots equal" true (s1 = s2)
+
+let test_value_sensitive () =
+  let m = build_machine pair_src in
+  let p3 = construct m ~cls:"P" ~args:[ Value.Vint 3 ] in
+  let p4 = construct m ~cls:"P" ~args:[ Value.Vint 4 ] in
+  let s3 = Snapshot.canonical (Machine.heap m) ~roots:[ p3 ] in
+  let s4 = Snapshot.canonical (Machine.heap m) ~roots:[ p4 ] in
+  Alcotest.(check bool) "different values differ" false (s3 = s4)
+
+let test_cycles_terminate () =
+  let m = build_machine pair_src in
+  let a = construct m ~cls:"P" ~args:[ Value.Vint 1 ] in
+  let b = construct m ~cls:"P" ~args:[ Value.Vint 2 ] in
+  let heap = Machine.heap m in
+  (match (Value.addr_of a, Value.addr_of b) with
+  | Some aa, Some ab ->
+    Heap.set_field heap aa "next" b;
+    Heap.set_field heap ab "next" a
+  | _ -> Alcotest.fail "no addrs");
+  let s = Snapshot.canonical heap ~roots:[ a ] in
+  Alcotest.(check bool) "cycle snapshot nonempty" true
+    (String.length (Snapshot.to_string s) > 0);
+  (* shape-sensitive: a 2-cycle differs from a self-loop *)
+  let m2 = build_machine pair_src in
+  let c = construct m2 ~cls:"P" ~args:[ Value.Vint 1 ] in
+  (match Value.addr_of c with
+  | Some ac -> Heap.set_field (Machine.heap m2) ac "next" c
+  | None -> Alcotest.fail "no addr");
+  let s2 = Snapshot.canonical (Machine.heap m2) ~roots:[ c ] in
+  Alcotest.(check bool) "different cycle shapes differ" false (s = s2)
+
+let test_sharing_sensitive () =
+  (* x->z<-y (diamond) differs from x->z1, y->z2 with equal values. *)
+  let src = "class N { P l; P r; } class P { int v; }" in
+  let m1 = build_machine src in
+  let n1 = construct m1 ~cls:"N" ~args:[] in
+  let z = construct m1 ~cls:"P" ~args:[] in
+  let h1 = Machine.heap m1 in
+  (match Value.addr_of n1 with
+  | Some a ->
+    Heap.set_field h1 a "l" z;
+    Heap.set_field h1 a "r" z
+  | None -> Alcotest.fail "addr");
+  let m2 = build_machine src in
+  let n2 = construct m2 ~cls:"N" ~args:[] in
+  let z1 = construct m2 ~cls:"P" ~args:[] in
+  let z2 = construct m2 ~cls:"P" ~args:[] in
+  let h2 = Machine.heap m2 in
+  (match Value.addr_of n2 with
+  | Some a ->
+    Heap.set_field h2 a "l" z1;
+    Heap.set_field h2 a "r" z2
+  | None -> Alcotest.fail "addr");
+  let s1 = Snapshot.canonical h1 ~roots:[ n1 ] in
+  let s2 = Snapshot.canonical h2 ~roots:[ n2 ] in
+  Alcotest.(check bool) "sharing detected" false (s1 = s2)
+
+let test_arrays_in_snapshot () =
+  let src = "class A { int[] xs; A() { this.xs = new int[3]; } }" in
+  let m = build_machine src in
+  let a = construct m ~cls:"A" ~args:[] in
+  let s1 = Snapshot.canonical (Machine.heap m) ~roots:[ a ] in
+  (match Machine.deref_path m a [ "xs" ] with
+  | Some (Value.Vref arr) -> Heap.array_set (Machine.heap m) arr 1 (Value.Vint 9)
+  | _ -> Alcotest.fail "no array");
+  let s2 = Snapshot.canonical (Machine.heap m) ~roots:[ a ] in
+  Alcotest.(check bool) "array mutation visible" false (s1 = s2)
+
+let test_thread_handles_opaque () =
+  (* thread ids must not leak into snapshots *)
+  let m = build_machine pair_src in
+  let p = construct m ~cls:"P" ~args:[ Value.Vint 1 ] in
+  let s1 =
+    Snapshot.canonical (Machine.heap m) ~roots:[ p; Value.Vthread 1 ]
+  in
+  let s2 =
+    Snapshot.canonical (Machine.heap m) ~roots:[ p; Value.Vthread 42 ]
+  in
+  Alcotest.(check bool) "tids canonicalized" true (s1 = s2)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "canonicalization",
+        [
+          Alcotest.test_case "stable" `Quick test_stable;
+          Alcotest.test_case "isomorphic" `Quick test_isomorphic_across_allocations;
+          Alcotest.test_case "value sensitive" `Quick test_value_sensitive;
+          Alcotest.test_case "cycles" `Quick test_cycles_terminate;
+          Alcotest.test_case "sharing" `Quick test_sharing_sensitive;
+          Alcotest.test_case "arrays" `Quick test_arrays_in_snapshot;
+          Alcotest.test_case "thread handles" `Quick test_thread_handles_opaque;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Test synthesis (§3.4, Algorithm 1): planning, object collection,
+   sharing, and the structure of instantiated tests. *)
+
+open Narada_core
+
+let fig1_analysis () = Testlib.Fixtures.analyze Testlib.Fixtures.fig1
+
+let find_test (an : Pipeline.analysis) ~qa ~qb =
+  match
+    List.find_opt
+      (fun (t : Synth.test) ->
+        let p = t.Synth.st_pair in
+        (p.Pairs.p_a.Pairs.ep_qname = qa && p.Pairs.p_b.Pairs.ep_qname = qb)
+        || (p.Pairs.p_a.Pairs.ep_qname = qb && p.Pairs.p_b.Pairs.ep_qname = qa))
+      an.Pipeline.an_tests
+  with
+  | Some t -> t
+  | None -> Alcotest.failf "no synthesized test for %s x %s" qa qb
+
+let test_dedup_folds_pairs () =
+  let an = fig1_analysis () in
+  Alcotest.(check bool) "fewer tests than pairs" true
+    (List.length an.Pipeline.an_tests <= List.length an.Pipeline.an_pairs);
+  (* and keys are unique *)
+  let keys = List.map Synth.dedup_key
+      (List.map (fun (t : Synth.test) -> t.Synth.st_pair) an.Pipeline.an_tests) in
+  Alcotest.(check int) "unique" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_instantiate_shares_counter () =
+  (* The update×update test must leave both thread receivers' [c] fields
+     pointing at the same Counter — the paper's context requirement. *)
+  let an = fig1_analysis () in
+  let t = find_test an ~qa:"Lib.update" ~qb:"Lib.update" in
+  match (Pipeline.instantiator an t) () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+    let m = inst.Detect.Racefuzzer.ri_machine in
+    let tids = inst.Detect.Racefuzzer.ri_threads in
+    Alcotest.(check int) "two racy threads" 2 (List.length tids);
+    let recv_of tid =
+      match Runtime.Machine.frames_of m tid with
+      | f :: _ -> f.Runtime.Machine.regs.(0)
+      | [] -> Alcotest.fail "no frame"
+    in
+    let r1 = recv_of (List.nth tids 0) and r2 = recv_of (List.nth tids 1) in
+    Alcotest.(check bool) "receivers distinct" false (Runtime.Value.equal r1 r2);
+    let c1 = Runtime.Machine.deref_path m r1 [ "c" ] in
+    let c2 = Runtime.Machine.deref_path m r2 [ "c" ] in
+    (match (c1, c2) with
+    | Some (Runtime.Value.Vref a), Some (Runtime.Value.Vref b) ->
+      Alcotest.(check int) "counters shared" a b
+    | _ -> Alcotest.fail "c fields unset")
+
+let test_instantiate_deterministic () =
+  let an = fig1_analysis () in
+  let t = find_test an ~qa:"Lib.update" ~qb:"Lib.update" in
+  let inst = Pipeline.instantiator an t in
+  let snap () =
+    match inst () with
+    | Error e -> Alcotest.fail e
+    | Ok i ->
+      Runtime.Snapshot.to_string
+        (Runtime.Snapshot.canonical
+           (Runtime.Machine.heap i.Detect.Racefuzzer.ri_machine)
+           ~roots:i.Detect.Racefuzzer.ri_roots)
+  in
+  Alcotest.(check string) "identical initial states" (snap ()) (snap ())
+
+let test_collection_threads_frozen () =
+  (* After instantiation, only the two racy threads are runnable; the
+     seed-replay threads are suspended forever. *)
+  let an = fig1_analysis () in
+  let t = find_test an ~qa:"Lib.update" ~qb:"Lib.update" in
+  match (Pipeline.instantiator an t) () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+    let m = inst.Detect.Racefuzzer.ri_machine in
+    let runnable = Runtime.Machine.runnable_tids m in
+    List.iter
+      (fun tid ->
+        Alcotest.(check bool) "runnable is a racy thread" true
+          (List.mem tid inst.Detect.Racefuzzer.ri_threads))
+      runnable
+
+let test_share_owner_directly () =
+  (* update×get: get's receiver must BE update's receiver's counter. *)
+  let an = fig1_analysis () in
+  let t = find_test an ~qa:"Lib.update" ~qb:"Counter.get" in
+  match (Pipeline.instantiator an t) () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+    let m = inst.Detect.Racefuzzer.ri_machine in
+    let recvs =
+      List.map
+        (fun tid ->
+          match Runtime.Machine.frames_of m tid with
+          | f :: _ -> f.Runtime.Machine.regs.(0)
+          | [] -> Runtime.Value.Vnull)
+        inst.Detect.Racefuzzer.ri_threads
+    in
+    (* one receiver is a Lib, the other is that Lib's counter *)
+    let heap = Runtime.Machine.heap m in
+    let libs, counters =
+      List.partition
+        (fun v ->
+          match Runtime.Value.addr_of v with
+          | Some a -> Runtime.Heap.class_of heap a = Some "Lib"
+          | None -> false)
+        recvs
+    in
+    (match (libs, counters) with
+    | [ lib ], [ counter ] -> (
+      match Runtime.Machine.deref_path m lib [ "c" ] with
+      | Some c -> Alcotest.(check bool) "lib.c == counter" true (Runtime.Value.equal c counter)
+      | None -> Alcotest.fail "lib.c unset")
+    | _ -> Alcotest.fail "expected one Lib and one Counter receiver")
+
+let test_fig13_instantiation () =
+  (* The foo×foo test on fig13: both receivers' x fields must alias. *)
+  let an = Testlib.Fixtures.analyze Testlib.Fixtures.fig13 in
+  let t = find_test an ~qa:"A.foo" ~qb:"A.foo" in
+  match (Pipeline.instantiator an t) () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+    let m = inst.Detect.Racefuzzer.ri_machine in
+    let xs =
+      List.map
+        (fun tid ->
+          match Runtime.Machine.frames_of m tid with
+          | f :: _ -> Runtime.Machine.deref_path m f.Runtime.Machine.regs.(0) [ "x" ]
+          | [] -> None)
+        inst.Detect.Racefuzzer.ri_threads
+    in
+    match xs with
+    | [ Some (Runtime.Value.Vref a); Some (Runtime.Value.Vref b) ] ->
+      Alcotest.(check int) "x fields alias" a b
+    | _ -> Alcotest.fail "x fields not resolved"
+
+let test_to_source_mentions_methods () =
+  let an = fig1_analysis () in
+  let t = find_test an ~qa:"Lib.update" ~qb:"Lib.update" in
+  let src = Synth.to_source t in
+  let contains needle =
+    let nh = String.length src and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub src i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "spawns update" true (contains "spawn ownerA.update");
+  Alcotest.(check bool) "mentions field" true (contains ".count")
+
+let test_roots_nonempty () =
+  let an = fig1_analysis () in
+  List.iter
+    (fun (t : Synth.test) ->
+      match (Pipeline.instantiator an t) () with
+      | Ok inst ->
+        Alcotest.(check bool) "roots present" true
+          (inst.Detect.Racefuzzer.ri_roots <> [])
+      | Error _ -> ())
+    an.Pipeline.an_tests
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "planning",
+        [ Alcotest.test_case "dedup" `Quick test_dedup_folds_pairs ] );
+      ( "instantiation",
+        [
+          Alcotest.test_case "counter shared (fig1)" `Quick
+            test_instantiate_shares_counter;
+          Alcotest.test_case "deterministic" `Quick test_instantiate_deterministic;
+          Alcotest.test_case "collectors frozen" `Quick
+            test_collection_threads_frozen;
+          Alcotest.test_case "share owner (update x get)" `Quick
+            test_share_owner_directly;
+          Alcotest.test_case "fig13 context applied" `Quick test_fig13_instantiation;
+          Alcotest.test_case "roots" `Quick test_roots_nonempty;
+        ] );
+      ( "rendering",
+        [ Alcotest.test_case "to_source" `Quick test_to_source_mentions_methods ] );
+    ]

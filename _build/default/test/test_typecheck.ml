@@ -1,0 +1,111 @@
+(* Type checker tests: programs that must be accepted and programs that
+   must be rejected with a diagnostic. *)
+
+let accepts name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Jir.Typecheck.check_program (Jir.Parser.parse_program src) with
+      | _ -> ()
+      | exception Jir.Diag.Error d ->
+        Alcotest.fail (name ^ ": unexpected error " ^ Jir.Diag.to_string d))
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Jir.Typecheck.check_program (Jir.Parser.parse_program src) with
+      | _ -> Alcotest.fail (name ^ ": expected a type error")
+      | exception Jir.Diag.Error _ -> ())
+
+let ok_cases =
+  [
+    accepts "minimal class" "class A { }";
+    accepts "field init" "class A { int x = 1 + 2; bool b = true; }";
+    accepts "subtype assignment"
+      "class B { } class A extends B { } class M { void m() { B b = new A(); } }";
+    accepts "interface assignment"
+      "interface I { int size(); } class A implements I { int size() { return 0; } } \
+       class M { void m() { I i = new A(); int n = i.size(); } }";
+    accepts "null assignment" "class A { } class M { void m() { A a = null; } }";
+    accepts "null comparison"
+      "class A { } class M { bool m(A a) { return a == null; } }";
+    accepts "ref equality across hierarchy"
+      "class B { } class A extends B { } class M { bool m(A a, B b) { return a == b; } }";
+    accepts "inherited field"
+      "class B { int x; } class A extends B { int getX() { return this.x; } }";
+    accepts "inherited method"
+      "class B { int f() { return 1; } } class A extends B { } \
+       class M { int m() { A a = new A(); return a.f(); } }";
+    accepts "all paths return via if"
+      "class A { int m(bool b) { if (b) { return 1; } else { return 2; } } }";
+    accepts "return via throw" "class A { int m() { throw \"no\"; } }";
+    accepts "intrinsics"
+      "class A { void m(int[] a) { Sys.print(Sys.min(Sys.abs(0 - 3), \
+       Sys.randInt(4))); Sys.arraycopy(a, 0, a, 1, 2); int n = \
+       Sys.strlen(Sys.concat(\"a\", \"b\")); int c = Sys.charAt(\"xy\", 0); } }";
+    accepts "spawn and join"
+      "class A { void run() { } } class M { void m() { A a = new A(); thread \
+       t = spawn a.run(); join t; } }";
+    accepts "sync on array"
+      "class A { void m(int[] xs) { synchronized (xs) { xs[0] = 1; } } }";
+    accepts "shadowing in inner scope is a redeclaration-free new name"
+      "class A { void m() { int x = 1; while (x > 0) { int y = x; x = y - 1; } } }";
+  ]
+
+let bad_cases =
+  [
+    rejects "unknown class" "class A { B f; }";
+    rejects "unknown variable" "class A { void m() { x = 1; } }";
+    rejects "unknown field" "class A { int m(A a) { return a.nope; } }";
+    rejects "unknown method" "class A { void m(A a) { a.nope(); } }";
+    rejects "arity mismatch"
+      "class A { void f(int x) { } void m() { this.f(); } }";
+    rejects "argument type" "class A { void f(int x) { } void m() { this.f(true); } }";
+    rejects "assign bool to int" "class A { void m() { int x = true; } }";
+    rejects "supertype to subtype"
+      "class B { } class A extends B { } class M { void m() { A a = new B(); } }";
+    rejects "redeclared variable" "class A { void m() { int x = 1; int x = 2; } }";
+    rejects "this in static" "class A { static void m() { A a = this; } }";
+    rejects "duplicate class" "class A { } class A { }";
+    rejects "inheritance cycle" "class A extends B { } class B extends A { }";
+    rejects "extends interface" "interface I { } class A extends I { }";
+    rejects "implements class" "class B { } class A implements B { }";
+    rejects "interface with body" "interface I { void m() { } }";
+    rejects "interface with field" "interface I { int x; }";
+    rejects "field shadowing" "class B { int x; } class A extends B { int x; }";
+    rejects "instantiate interface"
+      "interface I { } class M { void m() { I i = new I(); } }";
+    rejects "missing return" "class A { int m(bool b) { if (b) { return 1; } } }";
+    rejects "void variable" "class A { void m() { void v; } }";
+    rejects "void value use"
+      "class A { void f() { } void m() { int x = this.f(); } }";
+    rejects "return value from void" "class A { void m() { return 1; } }";
+    rejects "missing return value" "class A { int m() { return; } }";
+    rejects "sync on int" "class A { void m() { synchronized (1) { } } }";
+    rejects "compare int with bool" "class A { bool m() { return 1 == true; } }";
+    rejects "arith on bool" "class A { int m() { return true + 1; } }";
+    rejects "condition not bool" "class A { void m() { if (1) { } } }";
+    rejects "join non-thread" "class A { void m() { join 1; } }";
+    rejects "unknown intrinsic" "class A { void m() { Sys.nope(); } }";
+    rejects "intrinsic arity" "class A { void m() { int x = Sys.abs(1, 2); } }";
+    rejects "reserved Sys" "class Sys { }";
+    rejects "ctor arity"
+      "class A { A(int x) { } } class M { void m() { A a = new A(); } }";
+    rejects "assert non-bool" "class A { void m() { assert 1; } }";
+  ]
+
+(* Static synchronized is rejected by the compiler stage. *)
+let rejects_compile name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Jir.Compile.compile_source src with
+      | _ -> Alcotest.fail (name ^ ": expected rejection")
+      | exception Jir.Diag.Error _ -> ())
+
+let compile_cases =
+  [
+    rejects_compile "static synchronized (compile)"
+      "class A { static synchronized void m() { } }";
+    rejects_compile "synchronized constructor"
+      "class A { synchronized A() { } }";
+  ]
+
+let () =
+  Alcotest.run "typecheck"
+    [ ("accepts", ok_cases); ("rejects", bad_cases); ("compile", compile_cases) ]
