@@ -1,8 +1,14 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (§5) and times the pipeline stages with Bechamel.
 
-     dune exec bench/main.exe            # tables + timing
-     dune exec bench/main.exe -- quick   # tables only
+     dune exec bench/main.exe                      # tables + timing
+     dune exec bench/main.exe -- quick             # tables only
+     dune exec bench/main.exe -- quick --jobs 4    # parallel campaign
+
+   The campaign fans out over a domain pool (--jobs, default
+   Domain.recommended_domain_count); tables are bit-identical for every
+   job count.  Each run upserts its configuration's wall-clock into
+   BENCH_parallel.json so sequential-vs-parallel speedups are tracked.
 
    Artifacts regenerated:
    - Table 3 (benchmark information)
@@ -19,15 +25,7 @@
    - contege-campaign-C1x20: the random baseline's cost
    - substrate-trace-C6: raw tracing throughput of the VM *)
 
-let compile_cache : (string, Jir.Code.unit_) Hashtbl.t = Hashtbl.create 9
-
-let cu_of (e : Corpus.Corpus_def.entry) =
-  match Hashtbl.find_opt compile_cache e.Corpus.Corpus_def.e_id with
-  | Some cu -> cu
-  | None ->
-    let cu = Jir.Compile.compile_source e.Corpus.Corpus_def.e_source in
-    Hashtbl.replace compile_cache e.Corpus.Corpus_def.e_id cu;
-    cu
+let cu_of = Corpus.Registry.compiled_unit
 
 let pipeline_once (e : Corpus.Corpus_def.entry) =
   match
@@ -43,7 +41,7 @@ let pipeline_once (e : Corpus.Corpus_def.entry) =
 (* Part 1: regenerate the tables                                       *)
 (* ------------------------------------------------------------------ *)
 
-let regenerate_tables ~with_contege =
+let regenerate_tables ~with_contege ~jobs =
   print_endline
     "==================================================================";
   print_endline
@@ -53,13 +51,13 @@ let regenerate_tables ~with_contege =
   let t0 = Unix.gettimeofday () in
   let evals =
     List.filter_map
-      (fun e ->
-        match Eval.Evaluate.evaluate_class e with
+      (fun (e, r) ->
+        match r with
         | Ok ce -> Some ce
         | Error msg ->
           Printf.eprintf "bench: %s failed: %s\n" e.Corpus.Corpus_def.e_id msg;
           None)
-      Corpus.Registry.all
+      (Eval.Evaluate.evaluate_corpus ~jobs Corpus.Registry.all)
   in
   let t1 = Unix.gettimeofday () in
   print_string (Eval.Tables.table3 ());
@@ -87,7 +85,61 @@ let regenerate_tables ~with_contege =
     "full evaluation wall-clock: %.2fs (paper: 201.3s synthesis on a 3.5GHz \
      i7 against the real JVM classes)\n\n"
     (t1 -. t0);
-  evals
+  (evals, t1 -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_parallel.json: wall-clock of the full campaign per jobs        *)
+(* configuration, so the sequential-vs-parallel trajectory is tracked   *)
+(* across PRs.  The file is an upsert: each run records its own jobs    *)
+(* count and speedups are recomputed against the jobs=1 baseline.       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_parallel_file = "BENCH_parallel.json"
+
+(* Parse back the configurations we wrote earlier; the format below is
+   the only producer, so a minimal scan suffices (no JSON dependency). *)
+let read_bench_parallel () : (int * float) list =
+  match open_in bench_parallel_file with
+  | exception Sys_error _ -> []
+  | ic ->
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let configs = ref [] in
+    String.split_on_char '{' content
+    |> List.iter (fun chunk ->
+           match
+             Scanf.sscanf chunk " \"jobs\": %d, \"wall_s\": %f" (fun j w -> (j, w))
+           with
+           | cfg -> configs := cfg :: !configs
+           | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ());
+    List.rev !configs
+
+let write_bench_parallel ~jobs ~wall_s =
+  let configs =
+    ((jobs, wall_s) :: List.remove_assoc jobs (read_bench_parallel ()))
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let baseline = List.assoc_opt 1 configs in
+  let oc = open_out bench_parallel_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i (j, w) ->
+          let speedup =
+            match baseline with Some b when w > 0.0 -> b /. w | _ -> 1.0
+          in
+          Printf.fprintf oc "  { \"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.2f }%s\n"
+            j w speedup
+            (if i < List.length configs - 1 then "," else ""))
+        configs;
+      output_string oc "]\n");
+  Printf.printf "wrote %s (campaign wall-clock at jobs=%d: %.2fs)\n\n"
+    bench_parallel_file jobs wall_s
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler shootout: how often does each scheduler expose the C1      *)
@@ -271,8 +323,24 @@ let run_bechamel () =
         (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
     results
 
+let parse_jobs argv =
+  let jobs = ref (Par.default_jobs ()) in
+  Array.iteri
+    (fun i a ->
+      if String.equal a "--jobs" && i + 1 < Array.length argv then
+        match int_of_string_opt argv.(i + 1) with
+        | Some j when j >= 1 -> jobs := j
+        | Some _ | None ->
+          prerr_endline "bench: --jobs expects a positive integer";
+          exit 2)
+    argv;
+  !jobs
+
 let () =
   let quick = Array.exists (String.equal "quick") Sys.argv in
-  let _evals = regenerate_tables ~with_contege:true in
+  let jobs = parse_jobs Sys.argv in
+  let evals, wall_s = regenerate_tables ~with_contege:true ~jobs in
+  ignore (evals : Eval.Evaluate.class_eval list);
+  write_bench_parallel ~jobs ~wall_s;
   scheduler_shootout ();
   if not quick then run_bechamel ()

@@ -55,14 +55,30 @@ let seed_arg =
     value & opt int64 42L
     & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed (VM and schedulers).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Par.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel detection campaign (default: the \
+           recommended domain count). Results are identical for every job \
+           count.")
+
 let or_die = function
   | Ok x -> x
   | Error msg ->
     prerr_endline ("narada: " ^ msg);
     exit 1
 
-let compile_or_die src =
-  match Jir.Compile.compile_source src with
+let compile_or_die ?entry src =
+  (* Corpus entries go through the registry's shared compile cache. *)
+  let compile () =
+    match entry with
+    | Some e -> Corpus.Registry.compiled_unit e
+    | None -> Jir.Compile.compile_source src
+  in
+  match compile () with
   | cu -> cu
   | exception Jir.Diag.Error d ->
     prerr_endline ("narada: " ^ Jir.Diag.to_string d);
@@ -93,10 +109,12 @@ let parse_cmd =
 
 let run_cmd =
   let run file corpus client entry seed =
-    let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
+    let src, default_client, default_entry, centry =
+      or_die (load_source ~file ~corpus)
+    in
     let client = if corpus <> None then default_client else client in
     let entry = if corpus <> None then default_entry else entry in
-    let cu = compile_or_die src in
+    let cu = compile_or_die ?entry:centry src in
     let r, m =
       Conc.Exec.run_program cu ~seed ~client_classes:[ client ] ~cls:client
         ~meth:entry
@@ -121,10 +139,12 @@ let run_cmd =
 
 let trace_cmd =
   let run file corpus client entry seed =
-    let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
+    let src, default_client, default_entry, centry =
+      or_die (load_source ~file ~corpus)
+    in
     let client = if corpus <> None then default_client else client in
     let entry = if corpus <> None then default_entry else entry in
-    let cu = compile_or_die src in
+    let cu = compile_or_die ?entry:centry src in
     let _m, trace, res =
       Runtime.Interp.record ~seed cu ~client_classes:[ client ] ~cls:client
         ~meth:entry
@@ -203,13 +223,14 @@ let synthesize_cmd =
 (* ---- detect ---- *)
 
 let detect_cmd =
-  let run corpus_id =
+  let run corpus_id jobs =
     match Corpus.Registry.find corpus_id with
     | None ->
       prerr_endline ("narada: unknown corpus id " ^ corpus_id);
       exit 1
     | Some e -> (
-      match Eval.Evaluate.evaluate_class e with
+      let opts = { Eval.Evaluate.default_options with opt_jobs = max 1 jobs } in
+      match Eval.Evaluate.evaluate_class ~opts e with
       | Error msg ->
         prerr_endline ("narada: " ^ msg);
         exit 1
@@ -244,21 +265,21 @@ let detect_cmd =
        ~doc:
          "Synthesize tests for a corpus class, run them under the detection \
           stack and report every race (detected / reproduced / triaged).")
-    Term.(const run $ id)
+    Term.(const run $ id $ jobs_arg)
 
 (* ---- eval ---- *)
 
 let eval_cmd =
-  let run with_contege budget =
+  let run with_contege budget jobs =
     let evals =
       List.filter_map
-        (fun e ->
-          match Eval.Evaluate.evaluate_class e with
+        (fun (e, r) ->
+          match r with
           | Ok ce -> Some ce
           | Error msg ->
             Printf.eprintf "narada: %s failed: %s\n" e.Corpus.Corpus_def.e_id msg;
             None)
-        Corpus.Registry.all
+        (Eval.Evaluate.evaluate_corpus ~jobs:(max 1 jobs) Corpus.Registry.all)
     in
     print_string (Eval.Tables.table3 ());
     print_newline ();
@@ -283,7 +304,7 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Reproduce Tables 3-5 and Figure 14 over the whole corpus.")
-    Term.(const run $ with_contege $ budget)
+    Term.(const run $ with_contege $ budget $ jobs_arg)
 
 (* ---- contege ---- *)
 
@@ -326,7 +347,7 @@ let explore_cmd =
       prerr_endline ("narada: unknown corpus id " ^ corpus_id);
       exit 1
     | Some e -> (
-      let cu = compile_or_die e.Corpus.Corpus_def.e_source in
+      let cu = compile_or_die ~entry:e e.Corpus.Corpus_def.e_source in
       match
         Narada_core.Pipeline.analyze cu
           ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]

@@ -25,3 +25,24 @@ let find id =
     (all @ extras)
 
 let ids = List.map (fun (e : Corpus_def.entry) -> e.Corpus_def.e_id) all
+
+(* Shared compile cache: corpus sources are fixed, so every consumer
+   (CLI, tests, bench, evaluation) can reuse one compiled unit per
+   entry.  Guarded by a mutex — the evaluation campaign calls in from
+   worker domains. *)
+let compile_mu = Mutex.create ()
+let compile_cache : (string, Jir.Code.unit_) Hashtbl.t = Hashtbl.create 16
+
+let compiled_unit (e : Corpus_def.entry) : Jir.Code.unit_ =
+  Mutex.lock compile_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock compile_mu)
+    (fun () ->
+      match Hashtbl.find_opt compile_cache e.Corpus_def.e_id with
+      | Some cu -> cu
+      | None ->
+        (* Compiling inside the lock keeps a racing pair of domains from
+           doing the work twice; compilation is fast and deterministic. *)
+        let cu = Jir.Compile.compile_source e.Corpus_def.e_source in
+        Hashtbl.replace compile_cache e.Corpus_def.e_id cu;
+        cu)

@@ -11,3 +11,9 @@ val find : string -> Corpus_def.entry option
 (** Case-insensitive lookup by id over [all] and [extras]. *)
 
 val ids : string list
+
+val compiled_unit : Corpus_def.entry -> Jir.Code.unit_
+(** Memoized compilation of an entry's source, shared by the CLI,
+    tests, bench and the evaluation harness.  Domain-safe.  Raises
+    [Jir.Diag.Error] like {!Jir.Compile.compile_source} on the (never
+    expected) failure to compile a corpus source. *)

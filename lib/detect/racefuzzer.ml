@@ -178,21 +178,39 @@ let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
   !result
 
 (* Try to confirm a candidate over several directed runs with different
-   scheduler seeds. *)
+   scheduler seeds.  Each run is an independent seeded VM execution, so
+   with [jobs > 1] all runs are fanned out over a domain pool and the
+   sequential early-exit answer is recovered by scanning the results in
+   run order — the outcome is identical for every job count. *)
 let confirm ~(instantiate : instantiator) ~(cand : candidate) ?(runs = 10)
-    ?(fuel = 200_000) ?(seed = 7L) () : confirm_result =
-  let rec attempt i =
-    if i >= runs then { confirmed = None; runs_used = runs; steps = 0 }
-    else
-      match instantiate () with
-      | Error _ -> { confirmed = None; runs_used = i; steps = 0 }
-      | Ok inst -> (
-        let run_seed = Int64.add seed (Int64.of_int (i * 7919)) in
-        match
-          directed_run inst.ri_machine ~cand ~seed:run_seed ~fuel
-            ~on_confirm:`Report
-        with
-        | Some r -> { confirmed = Some r; runs_used = i + 1; steps = 0 }
-        | None -> attempt (i + 1))
+    ?(fuel = 200_000) ?(seed = 7L) ?(jobs = 1) () : confirm_result =
+  let attempt_once i =
+    match instantiate () with
+    | Error _ -> Error ()
+    | Ok inst ->
+      let run_seed = Int64.add seed (Int64.of_int (i * 7919)) in
+      Ok
+        (directed_run inst.ri_machine ~cand ~seed:run_seed ~fuel
+           ~on_confirm:`Report)
   in
-  attempt 0
+  if jobs <= 1 then begin
+    let rec attempt i =
+      if i >= runs then { confirmed = None; runs_used = runs; steps = 0 }
+      else
+        match attempt_once i with
+        | Error () -> { confirmed = None; runs_used = i; steps = 0 }
+        | Ok (Some r) -> { confirmed = Some r; runs_used = i + 1; steps = 0 }
+        | Ok None -> attempt (i + 1)
+    in
+    attempt 0
+  end
+  else begin
+    let outcomes = Par.mapi ~jobs (List.init runs Fun.id) (fun _ i -> attempt_once i) in
+    let rec scan i = function
+      | [] -> { confirmed = None; runs_used = runs; steps = 0 }
+      | Error () :: _ -> { confirmed = None; runs_used = i; steps = 0 }
+      | Ok (Some r) :: _ -> { confirmed = Some r; runs_used = i + 1; steps = 0 }
+      | Ok None :: rest -> scan (i + 1) rest
+    in
+    scan 0 outcomes
+  end

@@ -39,10 +39,13 @@ val confirm :
   ?runs:int ->
   ?fuel:int ->
   ?seed:int64 ->
+  ?jobs:int ->
   unit ->
   confirm_result
 (** Attempt to confirm the candidate over several directed runs with
-    different scheduler seeds. *)
+    different scheduler seeds.  [jobs] (default 1) fans the independent
+    runs out over a domain pool; the result is identical to the
+    sequential early-exit scan for every job count. *)
 
 val directed_run :
   Runtime.Machine.t ->

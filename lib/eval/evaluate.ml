@@ -46,9 +46,11 @@ type options = {
   opt_schedules : int; (* random schedules per test for detection *)
   opt_confirm_runs : int; (* directed runs per candidate *)
   opt_seed : int64;
+  opt_jobs : int; (* fan-out width inside one test's detection *)
 }
 
-let default_options = { opt_schedules = 3; opt_confirm_runs = 6; opt_seed = 7L }
+let default_options =
+  { opt_schedules = 3; opt_confirm_runs = 6; opt_seed = 7L; opt_jobs = 1 }
 
 (* Execute one synthesized test under a random schedule with the hybrid
    detector attached; returns the candidate races. *)
@@ -65,27 +67,43 @@ let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
   match instantiate () with
   | Error _ -> { te_test = t; te_instantiated = false; te_races = [] }
   | Ok first ->
-    (* Gather candidates over several schedules. *)
+    (* Gather candidates over several schedules.  Every schedule is an
+       independent seeded execution of a fresh instantiation, so with
+       [opt_jobs > 1] they run on a domain pool; merging the candidate
+       lists in schedule order keeps the table identical to the
+       sequential scan for every job count. *)
     let tbl : (Detect.Race.key, Detect.Race.report) Hashtbl.t = Hashtbl.create 8 in
     let note r =
       let k = Detect.Race.key_of r in
       if not (Hashtbl.mem tbl k) then Hashtbl.replace tbl k r
     in
-    List.iter note (detect_once first ~seed:opts.opt_seed);
-    for i = 1 to opts.opt_schedules - 1 do
-      match instantiate () with
-      | Ok inst ->
-        List.iter note
-          (detect_once inst ~seed:(Int64.add opts.opt_seed (Int64.of_int (i * 1299709))))
-      | Error _ -> ()
-    done;
+    let schedule_seed i = Int64.add opts.opt_seed (Int64.of_int (i * 1299709)) in
+    let per_schedule =
+      Par.mapi ~jobs:opts.opt_jobs
+        (List.init opts.opt_schedules Fun.id)
+        (fun _ i ->
+          if i = 0 then detect_once first ~seed:opts.opt_seed
+          else
+            match instantiate () with
+            | Ok inst -> detect_once inst ~seed:(schedule_seed i)
+            | Error _ -> [])
+    in
+    List.iter (List.iter note) per_schedule;
+    (* Confirm and triage each candidate; confirmation runs fan out
+       inside [Racefuzzer.confirm] with the same width. *)
+    let candidates =
+      List.sort
+        (fun (k1, _) (k2, _) -> Detect.Race.compare_key k1 k2)
+        (Hashtbl.fold (fun k r acc -> (k, r) :: acc) tbl [])
+    in
     let races =
-      Hashtbl.fold
-        (fun k r acc ->
+      List.map
+        (fun (k, r) ->
           let cand = Detect.Racefuzzer.candidate_of_report r in
           let confirm =
             Detect.Racefuzzer.confirm ~instantiate ~cand
-              ~runs:opts.opt_confirm_runs ~seed:opts.opt_seed ()
+              ~runs:opts.opt_confirm_runs ~seed:opts.opt_seed ~jobs:opts.opt_jobs
+              ()
           in
           let reproduced = confirm.Detect.Racefuzzer.confirmed <> None in
           let verdict =
@@ -95,8 +113,8 @@ let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
               | Error _ -> None
             else None
           in
-          { ro_key = k; ro_reproduced = reproduced; ro_verdict = verdict } :: acc)
-        tbl []
+          { ro_key = k; ro_reproduced = reproduced; ro_verdict = verdict })
+        candidates
     in
     {
       te_test = t;
@@ -105,12 +123,12 @@ let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
         List.sort (fun a b -> Detect.Race.compare_key a.ro_key b.ro_key) races;
     }
 
-let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
-    (class_eval, string) result =
-  match Jir.Compile.compile_source e.Corpus.Corpus_def.e_source with
+(* Compile (through the shared registry cache) and analyze one entry. *)
+let analyze_entry (e : Corpus.Corpus_def.entry) :
+    (Jir.Code.unit_ * Narada_core.Pipeline.analysis, string) result =
+  match Corpus.Registry.compiled_unit e with
   | exception Jir.Diag.Error d -> Error (Jir.Diag.to_string d)
   | cu -> (
-    let prog = cu.Jir.Code.cu_program in
     match
       Narada_core.Pipeline.analyze cu
         ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
@@ -118,47 +136,102 @@ let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
         ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
     with
     | Error err -> Error err
-    | Ok an ->
-      let t0 = Unix.gettimeofday () in
-      let test_evals =
-        List.map (evaluate_test opts an) an.Narada_core.Pipeline.an_tests
-      in
-      let t1 = Unix.gettimeofday () in
-      (* Class-level dedup of races (a race found by two tests counts
-         once, keeping its best outcome). *)
-      let best : (Detect.Race.key, race_outcome) Hashtbl.t = Hashtbl.create 32 in
+    | Ok an -> Ok (cu, an))
+
+(* Fold per-test evaluations into the class-level record, deduplicating
+   races across tests (a race found by two tests counts once, keeping
+   its best outcome). *)
+let assemble_class (e : Corpus.Corpus_def.entry) (cu : Jir.Code.unit_)
+    (an : Narada_core.Pipeline.analysis) ~(test_evals : test_eval list)
+    ~(detect_seconds : float) : class_eval =
+  let prog = cu.Jir.Code.cu_program in
+  let best : (Detect.Race.key, race_outcome) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun te ->
       List.iter
-        (fun te ->
-          List.iter
-            (fun ro ->
-              match Hashtbl.find_opt best ro.ro_key with
-              | None -> Hashtbl.replace best ro.ro_key ro
-              | Some prev ->
-                let better =
-                  (ro.ro_reproduced && not prev.ro_reproduced)
-                  || (ro.ro_verdict = Some Detect.Triage.Harmful
-                     && prev.ro_verdict <> Some Detect.Triage.Harmful)
-                in
-                if better then Hashtbl.replace best ro.ro_key ro)
-            te.te_races)
-        test_evals;
-      let outcomes = Hashtbl.fold (fun _ ro acc -> ro :: acc) best [] in
-      let count p = List.length (List.filter p outcomes) in
-      Ok
-        {
-          cl_entry = e;
-          cl_methods = Corpus.Corpus_def.method_count prog e;
-          cl_loc = Corpus.Corpus_def.loc_count prog e;
-          cl_pairs = List.length an.Narada_core.Pipeline.an_pairs;
-          cl_tests = List.length an.Narada_core.Pipeline.an_tests;
-          cl_seconds = an.Narada_core.Pipeline.an_seconds;
-          cl_detect_seconds = t1 -. t0;
-          cl_test_evals = test_evals;
-          cl_detected = List.length outcomes;
-          cl_reproduced = count (fun ro -> ro.ro_reproduced);
-          cl_harmful = count (fun ro -> ro.ro_verdict = Some Detect.Triage.Harmful);
-          cl_benign = count (fun ro -> ro.ro_verdict = Some Detect.Triage.Benign);
-        })
+        (fun ro ->
+          match Hashtbl.find_opt best ro.ro_key with
+          | None -> Hashtbl.replace best ro.ro_key ro
+          | Some prev ->
+            let better =
+              (ro.ro_reproduced && not prev.ro_reproduced)
+              || (ro.ro_verdict = Some Detect.Triage.Harmful
+                 && prev.ro_verdict <> Some Detect.Triage.Harmful)
+            in
+            if better then Hashtbl.replace best ro.ro_key ro)
+        te.te_races)
+    test_evals;
+  let outcomes = Hashtbl.fold (fun _ ro acc -> ro :: acc) best [] in
+  let count p = List.length (List.filter p outcomes) in
+  {
+    cl_entry = e;
+    cl_methods = Corpus.Corpus_def.method_count prog e;
+    cl_loc = Corpus.Corpus_def.loc_count prog e;
+    cl_pairs = List.length an.Narada_core.Pipeline.an_pairs;
+    cl_tests = List.length an.Narada_core.Pipeline.an_tests;
+    cl_seconds = an.Narada_core.Pipeline.an_seconds;
+    cl_detect_seconds = detect_seconds;
+    cl_test_evals = test_evals;
+    cl_detected = List.length outcomes;
+    cl_reproduced = count (fun ro -> ro.ro_reproduced);
+    cl_harmful = count (fun ro -> ro.ro_verdict = Some Detect.Triage.Harmful);
+    cl_benign = count (fun ro -> ro.ro_verdict = Some Detect.Triage.Benign);
+  }
+
+let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
+    (class_eval, string) result =
+  match analyze_entry e with
+  | Error err -> Error err
+  | Ok (cu, an) ->
+    let t0 = Unix.gettimeofday () in
+    let test_evals =
+      List.map (evaluate_test opts an) an.Narada_core.Pipeline.an_tests
+    in
+    let t1 = Unix.gettimeofday () in
+    Ok (assemble_class e cu an ~test_evals ~detect_seconds:(t1 -. t0))
+
+(* The parallel campaign: analyses run sequentially (they are cheap and
+   memoize compilation), then every (class, test) detection unit — the
+   dominant cost, and fully independent — fans out over one domain pool.
+   The flat work list load-balances much better than class-granular
+   parallelism (test counts per class differ by an order of magnitude),
+   and merging per-test results back by input index makes the campaign
+   output bit-identical for every job count. *)
+let evaluate_corpus ?(opts = default_options) ?(jobs = 1)
+    (entries : Corpus.Corpus_def.entry list) :
+    (Corpus.Corpus_def.entry * (class_eval, string) result) list =
+  let analyzed = List.map (fun e -> (e, analyze_entry e)) entries in
+  let items =
+    List.concat
+      (List.mapi
+         (fun ci (_, r) ->
+           match r with
+           | Error _ -> []
+           | Ok (_, an) ->
+             List.map (fun t -> (ci, an, t)) an.Narada_core.Pipeline.an_tests)
+         analyzed)
+  in
+  let evaluated =
+    Par.map ~jobs items (fun (ci, an, t) ->
+        let t0 = Unix.gettimeofday () in
+        let te = evaluate_test opts an t in
+        (ci, te, Unix.gettimeofday () -. t0))
+  in
+  List.mapi
+    (fun ci (e, r) ->
+      match r with
+      | Error err -> (e, Error err)
+      | Ok (cu, an) ->
+        let mine =
+          List.filter_map
+            (fun (ci', te, dt) -> if ci' = ci then Some (te, dt) else None)
+            evaluated
+        in
+        let test_evals = List.map fst mine in
+        (* Aggregate per-test detection time: total work, not wall. *)
+        let detect_seconds = List.fold_left (fun a (_, dt) -> a +. dt) 0.0 mine in
+        (e, Ok (assemble_class e cu an ~test_evals ~detect_seconds)))
+    analyzed
 
 (* Figure 14 buckets: races detected per test, as a percentage of the
    class's tests. *)
@@ -199,17 +272,9 @@ type ablation_row = {
 (* Count tests that expose at least one candidate race on a single
    seeded execution, with and without the shareObjects phase. *)
 let ablation (e : Corpus.Corpus_def.entry) : (ablation_row, string) result =
-  match Jir.Compile.compile_source e.Corpus.Corpus_def.e_source with
-  | exception Jir.Diag.Error d -> Error (Jir.Diag.to_string d)
-  | cu -> (
-    match
-      Narada_core.Pipeline.analyze cu
-        ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
-        ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
-        ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
-    with
-    | Error err -> Error err
-    | Ok an ->
+  match analyze_entry e with
+  | Error err -> Error err
+  | Ok (cu, an) ->
       let racy_tests ~apply_context =
         List.length
           (List.filter
@@ -229,7 +294,7 @@ let ablation (e : Corpus.Corpus_def.entry) : (ablation_row, string) result =
           ab_with_context = racy_tests ~apply_context:true;
           ab_without_context = racy_tests ~apply_context:false;
           ab_tests = List.length an.Narada_core.Pipeline.an_tests;
-        })
+        }
 
 let ablation_table (rows : ablation_row list) : string =
   let buf = Buffer.create 512 in

@@ -34,15 +34,32 @@ type options = {
   opt_schedules : int;  (** random schedules per test for detection *)
   opt_confirm_runs : int;  (** directed runs per candidate *)
   opt_seed : int64;
+  opt_jobs : int;
+      (** fan-out width inside one test's detection: random schedules
+          and directed confirmation runs are independent seeded VM
+          executions and run on a {!Par} domain pool when [> 1].
+          Results are identical for every width. *)
 }
 
 val default_options : options
+(** 3 schedules, 6 confirmation runs, seed 7, jobs 1. *)
 
 val evaluate_test :
   options -> Narada_core.Pipeline.analysis -> Narada_core.Synth.test -> test_eval
 
 val evaluate_class :
   ?opts:options -> Corpus.Corpus_def.entry -> (class_eval, string) result
+
+val evaluate_corpus :
+  ?opts:options ->
+  ?jobs:int ->
+  Corpus.Corpus_def.entry list ->
+  (Corpus.Corpus_def.entry * (class_eval, string) result) list
+(** Evaluate a whole corpus, fanning the flat (class, test) detection
+    work list out over [jobs] worker domains (default 1).  Results are
+    returned in input order and are bit-identical for every job count;
+    [cl_detect_seconds] aggregates per-test detection time (total work,
+    not wall-clock) so it remains meaningful under parallelism. *)
 
 val fig14_buckets : string list
 (** ["0"; "1"; "2"; "3-5"; "5-10"; ">10"] *)

@@ -1,0 +1,132 @@
+(* Domain pool + deterministic fan-out/merge.  See par.mli.
+
+   The pool is a plain shared-queue design: a mutex/condvar protected
+   task queue drained by [jobs] worker domains.  Futures are one-shot
+   cells filled by the worker and awaited under their own mutex, so an
+   [await] never blocks the queue.  Determinism is structural: [map]
+   writes result [i] for input [i] and merges in input order, so the
+   schedule of the workers is unobservable. *)
+
+module Pool = struct
+  type task = unit -> unit
+
+  type t = {
+    jobs : int;
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    queue : task Queue.t;
+    mutable stop : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  type 'a state = Pending | Done of 'a | Failed of exn
+
+  type 'a future = {
+    f_mu : Mutex.t;
+    f_ready : Condition.t;
+    mutable f_state : 'a state;
+  }
+
+  let rec worker p =
+    Mutex.lock p.mu;
+    while Queue.is_empty p.queue && not p.stop do
+      Condition.wait p.nonempty p.mu
+    done;
+    (* Drain the queue even when stopping: shutdown waits for every
+       submitted task to have run. *)
+    if Queue.is_empty p.queue then Mutex.unlock p.mu
+    else begin
+      let task = Queue.pop p.queue in
+      Mutex.unlock p.mu;
+      task ();
+      worker p
+    end
+
+  let create ~jobs =
+    let jobs = max 1 jobs in
+    let p =
+      {
+        jobs;
+        mu = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        stop = false;
+        workers = [];
+      }
+    in
+    p.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker p));
+    p
+
+  let jobs p = p.jobs
+
+  let submit p f =
+    let fut = { f_mu = Mutex.create (); f_ready = Condition.create (); f_state = Pending } in
+    let task () =
+      let r = match f () with v -> Done v | exception e -> Failed e in
+      Mutex.lock fut.f_mu;
+      fut.f_state <- r;
+      Condition.broadcast fut.f_ready;
+      Mutex.unlock fut.f_mu
+    in
+    Mutex.lock p.mu;
+    if p.stop then begin
+      Mutex.unlock p.mu;
+      invalid_arg "Par.Pool.submit: pool is shut down"
+    end;
+    Queue.push task p.queue;
+    Condition.signal p.nonempty;
+    Mutex.unlock p.mu;
+    fut
+
+  let await fut =
+    Mutex.lock fut.f_mu;
+    let rec wait () =
+      match fut.f_state with
+      | Pending ->
+        Condition.wait fut.f_ready fut.f_mu;
+        wait ()
+      | Done v ->
+        Mutex.unlock fut.f_mu;
+        v
+      | Failed e ->
+        Mutex.unlock fut.f_mu;
+        raise e
+    in
+    wait ()
+
+  let shutdown p =
+    Mutex.lock p.mu;
+    p.stop <- true;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.mu;
+    let ws = p.workers in
+    p.workers <- [];
+    List.iter Domain.join ws
+end
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* splitmix64 finalizer over base + (index+1) * golden gamma. *)
+let seed ~base ~index =
+  let open Int64 in
+  let s = add base (mul (of_int (index + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let mapi ?jobs xs f =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length xs in
+  if jobs = 1 || n <= 1 then List.mapi f xs
+  else begin
+    let p = Pool.create ~jobs:(min jobs n) in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () ->
+        let futs = List.mapi (fun i x -> Pool.submit p (fun () -> f i x)) xs in
+        (* Awaiting in input order both merges deterministically and, on
+           failure, re-raises the smallest failing index's exception. *)
+        List.map Pool.await futs)
+  end
+
+let map ?jobs xs f = mapi ?jobs xs (fun _ x -> f x)

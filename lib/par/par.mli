@@ -1,0 +1,53 @@
+(** Multicore evaluation engine: a fixed-size [Domain]-based worker
+    pool with futures, and a deterministic fan-out/merge combinator.
+
+    The evaluation campaign (§5) is embarrassingly parallel — every
+    corpus class, every synthesized test and every schedule/confirmation
+    run is an independent seeded VM execution.  [map] distributes such
+    work across domains while keeping the result *bit-identical*
+    regardless of the job count: tasks carry their input index, results
+    are merged back in input order, and seeds are derived per-index with
+    {!seed} rather than from any shared mutable generator. *)
+
+(** A fixed-size pool of worker domains consuming a shared task queue. *)
+module Pool : sig
+  type t
+
+  type 'a future
+  (** A handle for a submitted task's eventual result. *)
+
+  val create : jobs:int -> t
+  (** [create ~jobs] spawns [max 1 jobs] worker domains. *)
+
+  val jobs : t -> int
+
+  val submit : t -> (unit -> 'a) -> 'a future
+  (** Enqueue a task.  Raises [Invalid_argument] after [shutdown]. *)
+
+  val await : 'a future -> 'a
+  (** Block until the task has run; re-raises the task's exception.
+      Must not be called from within a task running on the same pool
+      (the worker would wait on itself). *)
+
+  val shutdown : t -> unit
+  (** Drain the queue, then join every worker domain.  Idempotent. *)
+end
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val seed : base:int64 -> index:int -> int64
+(** Deterministic per-index seed derivation (splitmix64 finalizer over
+    [base] and [index]); independent of job count and submission order. *)
+
+val map : ?jobs:int -> 'a list -> ('a -> 'b) -> 'b list
+(** [map ~jobs xs f] applies [f] to every element on a private pool of
+    [jobs] workers (default {!default_jobs}) and returns the results in
+    input order.  With [jobs = 1] (or a short list) no domain is
+    spawned and this is [List.map].  If tasks raise, the exception of
+    the smallest input index is re-raised after the pool is shut down —
+    output (and failure) is deterministic regardless of [jobs]. *)
+
+val mapi : ?jobs:int -> 'a list -> (int -> 'a -> 'b) -> 'b list
+(** Like {!map} but the function also receives the input index — the
+    hook for per-index seed derivation. *)

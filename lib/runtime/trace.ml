@@ -4,21 +4,61 @@
 
 type t = Event.t array
 
-(* A recorder to attach with [Machine.add_observer]. *)
-type recorder = { mutable events : Event.t list; mutable count : int }
+(* A recorder to attach with [Machine.add_observer].  Events land in a
+   growable chunked-array buffer: appending is an array store (no
+   list-cons allocation per event), and [snapshot] is a handful of
+   blits (no [List.rev] over the whole trace). *)
+type recorder = {
+  chunk : int; (* capacity of each chunk *)
+  mutable filled : Event.t array list; (* full chunks, most recent first *)
+  mutable cur : Event.t array; (* empty until the first event *)
+  mutable cur_len : int; (* used slots of [cur] *)
+  mutable count : int; (* total events recorded *)
+}
 
-let recorder () = { events = []; count = 0 }
+let default_chunk_size = 4096
+
+let recorder ?(chunk_size = default_chunk_size) () =
+  {
+    chunk = max 1 chunk_size;
+    filled = [];
+    cur = [||];
+    cur_len = 0;
+    count = 0;
+  }
 
 let observer r (e : Event.t) =
-  r.events <- e :: r.events;
+  if r.cur_len = Array.length r.cur then begin
+    if Array.length r.cur > 0 then r.filled <- r.cur :: r.filled;
+    (* [e] doubles as the fill value, so no placeholder event exists. *)
+    r.cur <- Array.make r.chunk e;
+    r.cur_len <- 0
+  end;
+  r.cur.(r.cur_len) <- e;
+  r.cur_len <- r.cur_len + 1;
   r.count <- r.count + 1
+
+let recorded r = r.count
 
 let attach m =
   let r = recorder () in
   Machine.add_observer m (observer r);
   r
 
-let snapshot r : t = Array.of_list (List.rev r.events)
+let snapshot r : t =
+  if r.count = 0 then [||]
+  else begin
+    (* [cur] is non-empty whenever anything was recorded. *)
+    let out = Array.make r.count r.cur.(0) in
+    let pos = ref 0 in
+    List.iter
+      (fun c ->
+        Array.blit c 0 out !pos (Array.length c);
+        pos := !pos + Array.length c)
+      (List.rev r.filled);
+    Array.blit r.cur 0 out !pos r.cur_len;
+    out
+  end
 
 let length (t : t) = Array.length t
 
@@ -42,33 +82,40 @@ type invoke = {
 }
 
 let client_invokes (t : t) =
-  Array.to_list t
-  |> List.filter_map (fun (e : Event.t) ->
-         match e with
-         | Event.Invoke { client = true; label; frame; qname; cls; meth; recv; args; _ }
-           ->
-           Some
-             {
-               inv_label = label;
-               inv_frame = frame;
-               inv_qname = qname;
-               inv_cls = cls;
-               inv_meth = meth;
-               inv_recv = recv;
-               inv_args = args;
-             }
-         | Event.Invoke _ | Event.Const _ | Event.Move _ | Event.Read _
-         | Event.Write _ | Event.Alloc _ | Event.Lock _ | Event.Unlock _
-         | Event.Param _ | Event.Return _ | Event.Spawned _ | Event.Joined _
-         | Event.Thrown _ ->
-           None)
+  (* Iterate the array directly (right to left, consing forward) rather
+     than materializing an intermediate list of the whole trace. *)
+  let acc = ref [] in
+  for i = Array.length t - 1 downto 0 do
+    match t.(i) with
+    | Event.Invoke { client = true; label; frame; qname; cls; meth; recv; args; _ }
+      ->
+      acc :=
+        {
+          inv_label = label;
+          inv_frame = frame;
+          inv_qname = qname;
+          inv_cls = cls;
+          inv_meth = meth;
+          inv_recv = recv;
+          inv_args = args;
+        }
+        :: !acc
+    | Event.Invoke _ | Event.Const _ | Event.Move _ | Event.Read _
+    | Event.Write _ | Event.Alloc _ | Event.Lock _ | Event.Unlock _
+    | Event.Param _ | Event.Return _ | Event.Spawned _ | Event.Joined _
+    | Event.Thrown _ ->
+      ()
+  done;
+  !acc
 
 let accesses (t : t) =
-  Array.to_list t
-  |> List.filter (fun (e : Event.t) ->
-         match e with
-         | Event.Read _ | Event.Write _ -> true
-         | Event.Invoke _ | Event.Const _ | Event.Move _ | Event.Alloc _
-         | Event.Lock _ | Event.Unlock _ | Event.Param _ | Event.Return _
-         | Event.Spawned _ | Event.Joined _ | Event.Thrown _ ->
-           false)
+  let acc = ref [] in
+  for i = Array.length t - 1 downto 0 do
+    match t.(i) with
+    | (Event.Read _ | Event.Write _) as e -> acc := e :: !acc
+    | Event.Invoke _ | Event.Const _ | Event.Move _ | Event.Alloc _
+    | Event.Lock _ | Event.Unlock _ | Event.Param _ | Event.Return _
+    | Event.Spawned _ | Event.Joined _ | Event.Thrown _ ->
+      ()
+  done;
+  !acc

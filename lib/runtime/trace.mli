@@ -5,12 +5,21 @@
 type t = Event.t array
 
 type recorder
+(** A growable chunked-array event buffer: appending is an array store,
+    snapshotting a few blits — no per-event list cell and no [List.rev]
+    over the whole trace on the recording hot path. *)
 
-val recorder : unit -> recorder
+val recorder : ?chunk_size:int -> unit -> recorder
+(** [chunk_size] (default 4096) sizes the backing chunks; exposed for
+    tests that want to cross chunk boundaries cheaply. *)
+
 val observer : recorder -> Event.t -> unit
 
 val attach : Machine.t -> recorder
 (** Attach a fresh recorder to a machine's observer list. *)
+
+val recorded : recorder -> int
+(** Number of events recorded so far. *)
 
 val snapshot : recorder -> t
 (** The events recorded so far, in order. *)

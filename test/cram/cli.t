@@ -47,6 +47,25 @@ Running the seed test prints the counter value:
   1
   finished in 30 steps
 
+The detection campaign fans out over a domain pool (--jobs) and its
+results are independent of the job count (timings masked):
+
+  $ narada detect C9 --jobs 2 | sed -E 's/[0-9]+\.[0-9]+s/_s/g'
+  C9 CharArrayReader: pairs=10 tests=10 detected=10 reproduced=8 harmful=6 benign=2 (synthesis _s, detection _s)
+    test 0: CharArrayReader.read:13 <-> CharArrayReader.readChars:18 on .[]
+    test 1: CharArrayReader.readChars:18 <-> CharArrayReader.readChars:18 on .[]
+    test 2: CharArrayReader.close:1 <-> CharArrayReader.ready:0 on .buf [reproduced] [harmful]
+    test 3: CharArrayReader.read:18 <-> CharArrayReader.ready:6 on .pos [reproduced] [harmful]
+    test 4: CharArrayReader.readChars:21 <-> CharArrayReader.ready:6 on .pos [reproduced] [harmful]
+    test 5: CharArrayReader.ready:6 <-> CharArrayReader.skip:14 on .pos [reproduced] [harmful]
+    test 6: CharArrayReader.ready:6 <-> CharArrayReader.reset:2 on .pos [reproduced] [benign]
+    test 7: CharArrayReader.close:1 <-> CharArrayReader.close:1 on .buf [reproduced] [benign]
+    test 8: CharArrayReader.close:1 <-> CharArrayReader.read:11 on .buf [reproduced] [harmful]
+    test 9: CharArrayReader.close:1 <-> CharArrayReader.readChars:16 on .buf [reproduced] [harmful]
+
+  $ narada detect C9 --jobs 1 | sed -E 's/[0-9]+\.[0-9]+s/_s/g' > seq.out
+  $ narada detect C9 --jobs 2 | sed -E 's/[0-9]+\.[0-9]+s/_s/g' | diff seq.out -
+
 Bad input surfaces a diagnostic and a nonzero exit:
 
   $ narada analyze --corpus C42

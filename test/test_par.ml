@@ -1,0 +1,180 @@
+(* Par subsystem tests: pool/futures, the deterministic fan-out/merge
+   combinator, per-index seed derivation, the chunked trace recorder,
+   and cross-job-count determinism of the evaluation campaign. *)
+
+let test_map_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 3 in
+  Alcotest.(check (list int))
+    "jobs:4 = List.map" (List.map f xs)
+    (Par.map ~jobs:4 xs f);
+  Alcotest.(check (list int))
+    "jobs:1 = List.map" (List.map f xs)
+    (Par.map ~jobs:1 xs f)
+
+let test_mapi_passes_indices () =
+  let xs = [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ] in
+  let expected = List.mapi (fun i s -> Printf.sprintf "%d:%s" i s) xs in
+  Alcotest.(check (list string))
+    "indices in input order" expected
+    (Par.mapi ~jobs:3 xs (fun i s -> Printf.sprintf "%d:%s" i s))
+
+let test_map_deterministic_failure () =
+  (* The smallest failing index's exception must surface regardless of
+     which worker finishes first. *)
+  let xs = List.init 10 Fun.id in
+  let f i = if i mod 2 = 1 then failwith (string_of_int i) else i in
+  for _ = 1 to 5 do
+    match Par.map ~jobs:4 xs f with
+    | _ -> Alcotest.fail "expected a failure"
+    | exception Failure msg -> Alcotest.(check string) "first failing index" "1" msg
+  done
+
+let test_pool_futures () =
+  let p = Par.Pool.create ~jobs:3 in
+  Alcotest.(check int) "jobs" 3 (Par.Pool.jobs p);
+  let futs = List.init 20 (fun i -> Par.Pool.submit p (fun () -> 2 * i)) in
+  (* Await out of submission order: futures are independent cells. *)
+  let rev_results = List.rev_map Par.Pool.await (List.rev futs) in
+  Alcotest.(check (list int)) "future results" (List.init 20 (fun i -> 2 * i)) rev_results;
+  Par.Pool.shutdown p;
+  (match Par.Pool.submit p (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ());
+  (* Shutdown is idempotent. *)
+  Par.Pool.shutdown p
+
+let test_seed_derivation () =
+  let seeds = List.init 100 (fun i -> Par.seed ~base:7L ~index:i) in
+  Alcotest.(check int) "distinct per index" 100
+    (List.length (List.sort_uniq Int64.compare seeds));
+  Alcotest.(check bool) "pure" true
+    (Par.seed ~base:7L ~index:42 = Par.seed ~base:7L ~index:42);
+  Alcotest.(check bool) "base matters" false
+    (Par.seed ~base:7L ~index:0 = Par.seed ~base:8L ~index:0)
+
+(* ---- chunked trace recorder ---- *)
+
+let mk_event i : Runtime.Event.t =
+  Runtime.Event.Const { label = i; tid = 0; frame = 0; dst = i mod 4 }
+
+(* The old list-cons recorder, as the reference behaviour. *)
+let reference_snapshot events = Array.of_list events
+
+let check_recorder ~chunk_size n =
+  let r = Runtime.Trace.recorder ~chunk_size () in
+  let events = List.init n mk_event in
+  List.iter (Runtime.Trace.observer r) events;
+  Alcotest.(check int)
+    (Printf.sprintf "count (chunk=%d n=%d)" chunk_size n)
+    n (Runtime.Trace.recorded r);
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshot = reference (chunk=%d n=%d)" chunk_size n)
+    true
+    (Runtime.Trace.snapshot r = reference_snapshot events)
+
+let test_recorder_empty () = check_recorder ~chunk_size:4 0
+
+let test_recorder_chunking () =
+  (* Below, at, and across chunk boundaries, including multi-chunk. *)
+  List.iter (check_recorder ~chunk_size:4) [ 1; 3; 4; 5; 8; 9; 11; 17 ];
+  check_recorder ~chunk_size:1 5;
+  check_recorder ~chunk_size:4096 3
+
+let test_recorder_snapshot_twice () =
+  let r = Runtime.Trace.recorder ~chunk_size:3 () in
+  List.iter (Runtime.Trace.observer r) (List.init 7 mk_event);
+  let s1 = Runtime.Trace.snapshot r in
+  (* Snapshot is non-destructive and appending continues afterwards. *)
+  Runtime.Trace.observer r (mk_event 7);
+  let s2 = Runtime.Trace.snapshot r in
+  Alcotest.(check int) "first snapshot" 7 (Runtime.Trace.length s1);
+  Alcotest.(check bool) "second extends first" true
+    (s2 = reference_snapshot (List.init 8 mk_event))
+
+(* ---- cross-job-count determinism of the evaluation campaign ---- *)
+
+let entries ids =
+  List.map
+    (fun id ->
+      match Corpus.Registry.find id with
+      | Some e -> e
+      | None -> Alcotest.failf "no corpus entry %s" id)
+    ids
+
+let outcome_signature (ce : Eval.Evaluate.class_eval) =
+  List.map
+    (fun (te : Eval.Evaluate.test_eval) ->
+      List.map
+        (fun (ro : Eval.Evaluate.race_outcome) ->
+          ( Detect.Race.key_to_string ro.Eval.Evaluate.ro_key,
+            ro.Eval.Evaluate.ro_reproduced,
+            Option.map Detect.Triage.verdict_to_string ro.Eval.Evaluate.ro_verdict ))
+        te.Eval.Evaluate.te_races)
+    ce.Eval.Evaluate.cl_test_evals
+
+let campaign ~jobs ids =
+  List.map
+    (fun (e, r) ->
+      match r with
+      | Ok ce -> ce
+      | Error msg -> Alcotest.failf "%s failed: %s" e.Corpus.Corpus_def.e_id msg)
+    (Eval.Evaluate.evaluate_corpus ~jobs (entries ids))
+
+let test_campaign_determinism () =
+  let seq = campaign ~jobs:1 [ "C3"; "C9" ] in
+  let par = campaign ~jobs:4 [ "C3"; "C9" ] in
+  Alcotest.(check string)
+    "table5 identical" (Eval.Tables.table5 seq) (Eval.Tables.table5 par);
+  Alcotest.(check string)
+    "fig14 identical" (Eval.Tables.fig14 seq) (Eval.Tables.fig14 par);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "race outcomes identical" true
+        (outcome_signature a = outcome_signature b))
+    seq par
+
+let test_inner_jobs_determinism () =
+  (* The schedule / confirmation fan-out inside one test's detection is
+     also width-independent. *)
+  let e = List.hd (entries [ "C9" ]) in
+  let eval jobs =
+    let opts = { Eval.Evaluate.default_options with opt_jobs = jobs } in
+    match Eval.Evaluate.evaluate_class ~opts e with
+    | Ok ce -> ce
+    | Error msg -> Alcotest.failf "C9 failed: %s" msg
+  in
+  let seq = eval 1 and par = eval 3 in
+  Alcotest.(check int) "detected" seq.Eval.Evaluate.cl_detected
+    par.Eval.Evaluate.cl_detected;
+  Alcotest.(check int) "harmful" seq.Eval.Evaluate.cl_harmful
+    par.Eval.Evaluate.cl_harmful;
+  Alcotest.(check bool) "outcomes" true
+    (outcome_signature seq = outcome_signature par)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "mapi indices" `Quick test_mapi_passes_indices;
+          Alcotest.test_case "deterministic failure" `Quick test_map_deterministic_failure;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "futures" `Quick test_pool_futures;
+          Alcotest.test_case "seed derivation" `Quick test_seed_derivation;
+        ] );
+      ( "trace-recorder",
+        [
+          Alcotest.test_case "empty" `Quick test_recorder_empty;
+          Alcotest.test_case "chunk boundaries" `Quick test_recorder_chunking;
+          Alcotest.test_case "snapshot twice" `Quick test_recorder_snapshot_twice;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "campaign jobs 1 = 4" `Slow test_campaign_determinism;
+          Alcotest.test_case "inner jobs 1 = 3" `Slow test_inner_jobs_determinism;
+        ] );
+    ]
