@@ -423,6 +423,58 @@ let explore_cmd =
           preemption-bounded search) and report every race observed.")
     Term.(const run $ id $ test_id $ bound)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run count seed jobs smoke mutate =
+    let mutate =
+      match mutate with
+      | None -> None
+      | Some m -> Some (or_die (Fuzz.Oracle.mutation_of_string m))
+    in
+    let opts =
+      {
+        Fuzz.Crucible.o_count = (if smoke then 30 else count);
+        o_seed = seed;
+        o_jobs = max 1 jobs;
+        o_mutate = mutate;
+      }
+    in
+    let report = Fuzz.Crucible.run opts in
+    print_string (Fuzz.Crucible.report_to_string report);
+    if not (Fuzz.Crucible.ok report) then exit 1
+  in
+  let count =
+    Arg.(
+      value & opt int Fuzz.Crucible.default_options.Fuzz.Crucible.o_count
+      & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Bounded smoke campaign (30 programs; overrides $(b,--count)).")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"M"
+          ~doc:
+            "Self-test the harness: inject a detector fault (drop-join, \
+             drop-release) into the event stream FastTrack observes and \
+             check that the differential oracle catches it.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Crucible: generate random well-typed Jir programs and cross-check \
+          the whole stack with differential oracles (pretty/parse \
+          round-trip, VM determinism, FastTrack vs Djit+ vs a naive \
+          happens-before oracle, lockset coverage, synthesis replay).  \
+          Deterministic: the report is byte-identical for every --jobs.")
+    Term.(const run $ count $ seed_arg $ jobs_arg $ smoke $ mutate)
+
 (* ---- deadlock ---- *)
 
 let deadlock_cmd =
@@ -475,6 +527,7 @@ let main_cmd =
       contege_cmd;
       deadlock_cmd;
       explore_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -58,10 +58,11 @@ let run ?(fuel = default_fuel) (m : Runtime.Machine.t) (sched : Scheduler.t) :
 
 (* Convenience: compile-and-run a whole program from its static main,
    scheduling any threads it spawns. *)
-let run_program ?(fuel = default_fuel) ?(seed = 42L)
+let run_program ?(fuel = default_fuel) ?(seed = 42L) ?(on_machine = fun _ -> ())
     (cu : Jir.Code.unit_) ~client_classes ~cls ~meth (sched : Scheduler.t) :
     run_result * Runtime.Machine.t =
   let m = Runtime.Machine.create ~client_classes ~seed cu in
+  on_machine m;
   let cm =
     match Jir.Code.find_static cu cls meth with
     | Some cm -> cm

@@ -22,6 +22,7 @@ val run : ?fuel:int -> Runtime.Machine.t -> Scheduler.t -> run_result
 val run_program :
   ?fuel:int ->
   ?seed:int64 ->
+  ?on_machine:(Runtime.Machine.t -> unit) ->
   Jir.Code.unit_ ->
   client_classes:Jir.Ast.id list ->
   cls:Jir.Ast.id ->
@@ -29,4 +30,6 @@ val run_program :
   Scheduler.t ->
   run_result * Runtime.Machine.t
 (** Compile-and-run a whole program from a static entry point,
-    scheduling any threads it spawns. *)
+    scheduling any threads it spawns.  [on_machine] is called with the
+    fresh machine before the entry thread is created — the hook for
+    attaching observers (race detectors, trace recorders) to a run. *)

@@ -1,0 +1,138 @@
+(* The campaign driver: generate → check → merge → shrink.
+
+   Determinism contract: per-program seeds come from Par.seed over the
+   base seed and the program index, results are merged in index order
+   by Par.mapi, and the report deliberately contains nothing
+   environment-dependent — so the output is byte-identical across job
+   counts and runs. *)
+
+type options = {
+  o_count : int;
+  o_seed : int64;
+  o_jobs : int;
+  o_mutate : Oracle.mutation option;
+}
+
+let default_options = { o_count = 200; o_seed = 7L; o_jobs = 1; o_mutate = None }
+
+type violation = {
+  vi_index : int;
+  vi_oracle : string;
+  vi_detail : string;
+  vi_original_size : int;
+  vi_shrunk_size : int;
+  vi_shrink_steps : int;
+  vi_source : string;
+}
+
+type report = {
+  rp_options : options;
+  rp_pass : (string * int) list;
+  rp_failures : (int * string * string) list;
+  rp_min : violation option;
+}
+
+let program_seed opts index = Par.seed ~base:opts.o_seed ~index
+
+let check_one opts index =
+  let seed = program_seed opts index in
+  let program = Gen.generate ~seed in
+  Oracle.check ?mutate:opts.o_mutate ~seed program
+
+let shrink_violation opts (index, oracle, _detail) =
+  let seed = program_seed opts index in
+  let program = Gen.generate ~seed in
+  let keep = Oracle.fails_oracle ?mutate:opts.o_mutate ~seed ~oracle in
+  let minimal, steps = Shrink.shrink ~keep program in
+  let detail =
+    match
+      List.assoc_opt oracle (Oracle.check ?mutate:opts.o_mutate ~seed minimal)
+    with
+    | Some (Oracle.Fail d) -> d
+    | Some Oracle.Pass | None -> "(detail unavailable on shrunk program)"
+  in
+  {
+    vi_index = index;
+    vi_oracle = oracle;
+    vi_detail = detail;
+    vi_original_size = Jir.Ast.program_size program;
+    vi_shrunk_size = Jir.Ast.program_size minimal;
+    vi_shrink_steps = steps;
+    vi_source = Gen.to_source minimal;
+  }
+
+let run (opts : options) : report =
+  let opts = { opts with o_count = max 0 opts.o_count; o_jobs = max 1 opts.o_jobs } in
+  let verdicts =
+    Par.mapi ~jobs:opts.o_jobs
+      (List.init opts.o_count Fun.id)
+      (fun _ index -> check_one opts index)
+  in
+  let pass =
+    List.map
+      (fun name ->
+        let n =
+          List.fold_left
+            (fun acc vs ->
+              match List.assoc_opt name vs with
+              | Some Oracle.Pass -> acc + 1
+              | Some (Oracle.Fail _) | None -> acc)
+            0 verdicts
+        in
+        (name, n))
+      Oracle.names
+  in
+  let failures =
+    List.concat
+      (List.mapi
+         (fun index vs ->
+           match
+             List.find_map
+               (fun (n, v) ->
+                 match v with Oracle.Pass -> None | Oracle.Fail d -> Some (n, d))
+               vs
+           with
+           | Some (oracle, detail) -> [ (index, oracle, detail) ]
+           | None -> [])
+         verdicts)
+  in
+  let rp_min =
+    match failures with [] -> None | f :: _ -> Some (shrink_violation opts f)
+  in
+  { rp_options = opts; rp_pass = pass; rp_failures = failures; rp_min }
+
+let ok r = r.rp_failures = []
+
+let report_to_string (r : report) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "crucible: %d programs, seed %Ld, %d oracles%s\n"
+    r.rp_options.o_count r.rp_options.o_seed
+    (List.length Oracle.names)
+    (match r.rp_options.o_mutate with
+    | Some m -> Printf.sprintf " [mutation: %s]" (Oracle.mutation_to_string m)
+    | None -> "");
+  Printf.bprintf b "  %-18s %6s %6s\n" "oracle" "pass" "fail";
+  List.iter
+    (fun (name, pass) ->
+      let fail =
+        List.length (List.filter (fun (_, o, _) -> String.equal o name) r.rp_failures)
+      in
+      (* programs whose earlier oracle already failed are not double-counted *)
+      Printf.bprintf b "  %-18s %6d %6d\n" name pass fail)
+    r.rp_pass;
+  (match r.rp_min with
+  | None -> Buffer.add_string b "no oracle violations\n"
+  | Some v ->
+    Printf.bprintf b "VIOLATION at program #%d (oracle %s)\n" v.vi_index v.vi_oracle;
+    Printf.bprintf b "  %s\n" v.vi_detail;
+    Printf.bprintf b
+      "  minimal counterexample (size %d -> %d in %d shrink steps):\n"
+      v.vi_original_size v.vi_shrunk_size v.vi_shrink_steps;
+    Buffer.add_string b v.vi_source;
+    if List.length r.rp_failures > 1 then
+      Printf.bprintf b "(%d further violating programs: %s)\n"
+        (List.length r.rp_failures - 1)
+        (String.concat ", "
+           (List.map (fun (i, _, _) -> "#" ^ string_of_int i)
+              (List.tl r.rp_failures))));
+  Buffer.contents b

@@ -1,0 +1,48 @@
+(** Crucible: the randomized differential-testing campaign.
+
+    Generates [count] programs from a base seed, runs every {!Oracle}
+    on each, fans the work out over a {!Par} domain pool, and shrinks
+    the smallest-index violation to a minimal counterexample.  The
+    whole report — counts, verdicts, the minimal program — is a pure
+    function of (count, seed, mutation): byte-identical for every job
+    count, so a reported counterexample can always be reproduced by
+    re-running with the same seed. *)
+
+type options = {
+  o_count : int;  (** programs to generate *)
+  o_seed : int64;  (** base seed; per-program seeds are derived *)
+  o_jobs : int;  (** worker domains (1 = in-process sequential) *)
+  o_mutate : Oracle.mutation option;
+      (** optional detector fault injection (harness self-test) *)
+}
+
+val default_options : options
+(** 200 programs, seed 7, 1 job, no mutation. *)
+
+type violation = {
+  vi_index : int;  (** program index within the campaign *)
+  vi_oracle : string;
+  vi_detail : string;  (** oracle detail on the {e shrunk} program *)
+  vi_original_size : int;  (** {!Jir.Ast.program_size} before shrinking *)
+  vi_shrunk_size : int;
+  vi_shrink_steps : int;
+  vi_source : string;  (** the minimal counterexample, as Jir source *)
+}
+
+type report = {
+  rp_options : options;
+  rp_pass : (string * int) list;  (** per-oracle pass counts, in {!Oracle.names} order *)
+  rp_failures : (int * string * string) list;
+      (** (index, oracle, detail) of each failing program's first
+          failing oracle, in index order *)
+  rp_min : violation option;  (** the shrunk smallest-index violation *)
+}
+
+val run : options -> report
+
+val ok : report -> bool
+(** No oracle violations. *)
+
+val report_to_string : report -> string
+(** Deterministic rendering (no wall-clock, no job count): identical
+    for every [o_jobs]. *)

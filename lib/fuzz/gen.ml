@@ -1,0 +1,430 @@
+(* Seeded random generation of well-typed Jir programs.
+
+   The generator is deliberately conservative about runtime behavior —
+   no division or modulo, array indices are literals inside the fixed
+   array length, loops are counter-bounded, intra-class calls only go to
+   lower-numbered methods and cross-class calls only to earlier classes
+   (so the call graph is acyclic and every method terminates) — while
+   still covering the whole substrate surface the oracles exercise:
+   fields, arrays, locals, conditionals, loops, [synchronized] methods
+   and blocks, constructors, cross-object aliasing through a peer
+   reference, spawn/join and [Sys.print]. *)
+
+open Jir.Ast
+
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let make seed = { s = seed }
+
+  (* splitmix64 *)
+  let next64 t =
+    t.s <- Int64.add t.s 0x9e3779b97f4a7c15L;
+    let z = t.s in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Rng.int";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int bound))
+
+  let range t lo hi = lo + int t (hi - lo + 1)
+  let bool t = int t 2 = 0
+  let chance t num den = int t den < num
+  let pick t l = List.nth l (int t (List.length l))
+end
+
+let seed_cls = "Main"
+let seed_meth = "seed"
+let main_meth = "main"
+let array_len = 4
+
+(* Static description of a generated library class, threaded through
+   generation so later classes and the harness can reference it. *)
+type minfo = { mi_name : string; mi_ret_int : bool; mi_nparams : int }
+
+type cls_info = {
+  ci_name : string;
+  ci_int_fields : string list;
+  ci_has_array : bool;  (* int[] field "a" of length [array_len] *)
+  ci_peer : cls_info option;  (* reference field "p" to an earlier class *)
+  ci_methods : minfo list;
+}
+
+let e d = mk_expr d
+let s d = mk_stmt d
+let lit n = e (Eint n)
+let this = e Ethis
+
+(* ---- expressions ---- *)
+
+type bctx = {
+  bc_rng : Rng.t;
+  bc_ci : cls_info option;  (* enclosing library class; None in Main *)
+  bc_callable : minfo list;  (* same-class methods safe to call *)
+  mutable bc_locals : (string * bool) list;  (* int locals; snd = assignable *)
+  mutable bc_fresh : int;
+}
+
+let fresh c prefix =
+  let n = c.bc_fresh in
+  c.bc_fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let rec int_expr c depth =
+  let r = c.bc_rng in
+  let leaves =
+    (fun () -> lit (Rng.int r 10))
+    :: List.concat
+         [
+           (match c.bc_locals with
+           | [] -> []
+           | ls -> [ (fun () -> e (Evar (fst (Rng.pick r ls)))) ]);
+           (match c.bc_ci with
+           | Some ci ->
+             (fun () -> e (Efield (this, Rng.pick r ci.ci_int_fields)))
+             :: List.concat
+                  [
+                    (if ci.ci_has_array then
+                       [
+                         (fun () ->
+                           e
+                             (Eindex
+                                (e (Efield (this, "a")), lit (Rng.int r array_len))));
+                       ]
+                     else []);
+                    (match ci.ci_peer with
+                    | Some peer ->
+                      [
+                        (fun () ->
+                          e
+                            (Efield
+                               (e (Efield (this, "p")), Rng.pick r peer.ci_int_fields)));
+                      ]
+                    | None -> []);
+                  ]
+           | None -> []);
+         ]
+  in
+  if depth <= 0 then (Rng.pick r leaves) ()
+  else
+    match Rng.int r 4 with
+    | 0 | 1 -> (Rng.pick r leaves) ()
+    | 2 ->
+      let op = Rng.pick r [ Add; Sub; Mul ] in
+      e (Ebinop (op, int_expr c (depth - 1), int_expr c (depth - 1)))
+    | _ -> e (Eunop (Neg, int_expr c (depth - 1)))
+
+let bool_expr c =
+  let r = c.bc_rng in
+  if Rng.chance r 1 5 then e (Ebool (Rng.bool r))
+  else
+    let op = Rng.pick r [ Lt; Le; Gt; Ge; Eq; Ne ] in
+    e (Ebinop (op, int_expr c 1, int_expr c 1))
+
+let call_args c (mi : minfo) = List.init mi.mi_nparams (fun _ -> int_expr c 1)
+
+(* A method call as one or two statements: int results land in a fresh
+   local so they stay visible to later expressions. *)
+let call_stmts c recv (mi : minfo) =
+  let call = Ecall (recv, mi.mi_name, call_args c mi) in
+  if mi.mi_ret_int then begin
+    let v = fresh c "r" in
+    let st = s (Sdecl (Tint, v, Some (e call))) in
+    c.bc_locals <- (v, true) :: c.bc_locals;
+    [ st ]
+  end
+  else [ s (Sexpr (e call)) ]
+
+(* ---- statements (library method bodies) ---- *)
+
+let rec stmts c depth : stmt list =
+  let r = c.bc_rng in
+  let ci = Option.get c.bc_ci in
+  let assignable = List.filter snd c.bc_locals in
+  let choices =
+    List.concat
+      [
+        [
+          (fun () ->
+            [ s (Sassign (Lfield (this, Rng.pick r ci.ci_int_fields), int_expr c 2)) ]);
+          (fun () ->
+            let v = fresh c "v" in
+            let st = s (Sdecl (Tint, v, Some (int_expr c 2))) in
+            c.bc_locals <- (v, true) :: c.bc_locals;
+            [ st ]);
+        ];
+        (if ci.ci_has_array then
+           [
+             (fun () ->
+               [
+                 s
+                   (Sassign
+                      ( Lindex (e (Efield (this, "a")), lit (Rng.int r array_len)),
+                        int_expr c 2 ));
+               ]);
+           ]
+         else []);
+        (match ci.ci_peer with
+        | Some peer ->
+          [
+            (fun () ->
+              [
+                s
+                  (Sassign
+                     ( Lfield (e (Efield (this, "p")), Rng.pick r peer.ci_int_fields),
+                       int_expr c 2 ));
+              ]);
+            (fun () ->
+              call_stmts c (e (Efield (this, "p"))) (Rng.pick r peer.ci_methods));
+          ]
+        | None -> []);
+        (match assignable with
+        | [] -> []
+        | ls ->
+          [ (fun () -> [ s (Sassign (Lvar (fst (Rng.pick r ls)), int_expr c 2)) ]) ]);
+        (match c.bc_callable with
+        | [] -> []
+        | ms -> [ (fun () -> call_stmts c this (Rng.pick r ms)) ]);
+        (if depth > 0 then
+           [
+             (fun () ->
+               let cond = bool_expr c in
+               let th = block c (depth - 1) in
+               let el = if Rng.bool r then block c (depth - 1) else [] in
+               [ s (Sif (cond, th, el)) ]);
+             (fun () ->
+               let target =
+                 if ci.ci_peer <> None && Rng.chance r 1 3 then e (Efield (this, "p"))
+                 else this
+               in
+               [ s (Ssync (target, block c (depth - 1))) ]);
+             (fun () ->
+               (* bounded counter loop; the counter is never assignable *)
+               let w = fresh c "w" in
+               let decl = s (Sdecl (Tint, w, Some (lit 0))) in
+               c.bc_locals <- (w, false) :: c.bc_locals;
+               let bound = Rng.range r 2 3 in
+               let body =
+                 block c (depth - 1)
+                 @ [ s (Sassign (Lvar w, e (Ebinop (Add, e (Evar w), lit 1)))) ]
+               in
+               [ decl; s (Swhile (e (Ebinop (Lt, e (Evar w), lit bound)), body)) ]);
+           ]
+         else []);
+      ]
+  in
+  (Rng.pick r choices) ()
+
+and block c depth : block =
+  let saved = c.bc_locals in
+  let n = Rng.range c.bc_rng 1 3 in
+  let b = List.concat (List.init n (fun _ -> stmts c depth)) in
+  c.bc_locals <- saved;
+  b
+
+(* ---- library classes ---- *)
+
+let gen_method r ~(ci : cls_info) ~callable i : method_decl * minfo =
+  let ret_int = Rng.chance r 1 4 in
+  let nparams = Rng.int r 3 in
+  let sync = Rng.chance r 1 3 in
+  let params = List.init nparams (fun k -> (Tint, Printf.sprintf "x%d" k)) in
+  let c =
+    {
+      bc_rng = r;
+      bc_ci = Some ci;
+      bc_callable = callable;
+      bc_locals = List.map (fun (_, x) -> (x, false)) params;
+      bc_fresh = 0;
+    }
+  in
+  let body = block c 2 in
+  let body = if ret_int then body @ [ s (Sreturn (Some (int_expr c 1))) ] else body in
+  let name = Printf.sprintf "m%d" i in
+  ( {
+      m_name = name;
+      m_static = false;
+      m_sync = sync;
+      m_abstract = false;
+      m_ret = (if ret_int then Tint else Tvoid);
+      m_params = params;
+      m_body = body;
+      m_pos = dummy_pos;
+    },
+    { mi_name = name; mi_ret_int = ret_int; mi_nparams = nparams } )
+
+let gen_class r ~(peers : cls_info list) k : class_decl * cls_info =
+  let name = String.make 1 (Char.chr (Char.code 'A' + k)) in
+  let n_fields = Rng.range r 2 3 in
+  let int_fields = List.init n_fields (fun i -> Printf.sprintf "f%d" i) in
+  let has_array = Rng.bool r in
+  let peer = if peers <> [] && Rng.bool r then Some (Rng.pick r peers) else None in
+  let ci_base =
+    { ci_name = name; ci_int_fields = int_fields; ci_has_array = has_array;
+      ci_peer = peer; ci_methods = [] }
+  in
+  let n_methods = Rng.range r 2 4 in
+  let methods, minfos =
+    List.fold_left
+      (fun (ms, mis) i ->
+        let m, mi = gen_method r ~ci:ci_base ~callable:mis i in
+        (ms @ [ m ], mis @ [ mi ]))
+      ([], []) (List.init n_methods Fun.id)
+  in
+  let fields =
+    List.map
+      (fun f ->
+        { f_name = f; f_static = false; f_ty = Tint; f_init = None; f_pos = dummy_pos })
+      int_fields
+    @ (if has_array then
+         [ { f_name = "a"; f_static = false; f_ty = Tarray Tint; f_init = None;
+             f_pos = dummy_pos } ]
+       else [])
+    @
+    match peer with
+    | Some p ->
+      [ { f_name = "p"; f_static = false; f_ty = Tclass p.ci_name; f_init = None;
+          f_pos = dummy_pos } ]
+    | None -> []
+  in
+  let ctor_body =
+    List.concat
+      [
+        List.filteri (fun i _ -> i < 2)
+          (List.map
+             (fun f -> s (Sassign (Lfield (this, f), lit (Rng.int r 10))))
+             int_fields);
+        (if has_array then
+           [ s (Sassign (Lfield (this, "a"), e (Enew_array (Tint, lit array_len)))) ]
+         else []);
+        (match peer with
+        | Some p -> [ s (Sassign (Lfield (this, "p"), e (Enew (p.ci_name, [])))) ]
+        | None -> []);
+      ]
+  in
+  let ctor =
+    {
+      m_name = ctor_name;
+      m_static = false;
+      m_sync = false;
+      m_abstract = false;
+      m_ret = Tvoid;
+      m_params = [];
+      m_body = ctor_body;
+      m_pos = dummy_pos;
+    }
+  in
+  ( {
+      c_name = name;
+      c_kind = Kclass;
+      c_super = None;
+      c_impls = [];
+      c_fields = fields;
+      c_methods = ctor :: methods;
+      c_pos = dummy_pos;
+    },
+    { ci_base with ci_methods = minfos } )
+
+(* ---- the Main harness ---- *)
+
+(* Shared context for harness bodies: objects are locals o0/s0..; calls
+   go through the same [call_stmts] machinery as library bodies. *)
+let harness_ctx r = { bc_rng = r; bc_ci = None; bc_callable = []; bc_locals = []; bc_fresh = 0 }
+
+let construct_objs r ~prefix (infos : cls_info list) n =
+  List.init n (fun i ->
+      let ci = Rng.pick r infos in
+      let v = Printf.sprintf "%s%d" prefix i in
+      ((v, ci), s (Sdecl (Tclass ci.ci_name, v, Some (e (Enew (ci.ci_name, [])))))))
+  |> List.split
+
+let rand_call r c ((v, ci) : string * cls_info) =
+  call_stmts c (e (Evar v)) (Rng.pick r ci.ci_methods)
+
+(* The sequential seed test: construct, exercise, print. *)
+let gen_seed_method r (infos : cls_info list) : method_decl =
+  let c = harness_ctx r in
+  let objs, decls = construct_objs r ~prefix:"o" infos (Rng.range r 1 2) in
+  let n_calls = Rng.range r 2 4 in
+  let calls = List.concat (List.init n_calls (fun _ -> rand_call r c (Rng.pick r objs))) in
+  let result =
+    match c.bc_locals with
+    | [] -> lit (Rng.int r 10)
+    | ls -> e (Evar (fst (Rng.pick r ls)))
+  in
+  let print = s (Sexpr (e (Estatic_call ("Sys", "print", [ result ])))) in
+  {
+    m_name = seed_meth;
+    m_static = true;
+    m_sync = false;
+    m_abstract = false;
+    m_ret = Tvoid;
+    m_params = [];
+    m_body = decls @ calls @ [ print ];
+    m_pos = dummy_pos;
+  }
+
+(* The multithreaded client: shared objects, spawned method calls on
+   them, joins, and a post-join access — the shape the detector oracles
+   feed on. *)
+let gen_main_method r (infos : cls_info list) : method_decl =
+  let c = harness_ctx r in
+  let objs, decls = construct_objs r ~prefix:"s" infos (Rng.range r 1 2) in
+  let warmup =
+    List.concat (List.init (Rng.int r 2) (fun _ -> rand_call r c (Rng.pick r objs)))
+  in
+  let n_threads = Rng.range r 2 3 in
+  let hot = List.hd objs in
+  let spawns =
+    List.init n_threads (fun i ->
+        (* bias threads onto the first object so they contend *)
+        let v, ci = if Rng.chance r 3 4 then hot else Rng.pick r objs in
+        let mi = Rng.pick r ci.ci_methods in
+        s (Sspawn (Printf.sprintf "t%d" i, e (Evar v), mi.mi_name, call_args c mi)))
+  in
+  let joins =
+    List.init n_threads (fun i -> s (Sjoin (e (Evar (Printf.sprintf "t%d" i)))))
+  in
+  let after = rand_call r c hot in
+  let print = s (Sexpr (e (Estatic_call ("Sys", "print", [ lit (Rng.int r 10) ])))) in
+  {
+    m_name = main_meth;
+    m_static = true;
+    m_sync = false;
+    m_abstract = false;
+    m_ret = Tvoid;
+    m_params = [];
+    m_body = decls @ warmup @ spawns @ joins @ after @ [ print ];
+    m_pos = dummy_pos;
+  }
+
+let generate ~seed : program =
+  let r = Rng.make seed in
+  let n_classes = Rng.range r 1 3 in
+  let classes, infos =
+    List.fold_left
+      (fun (cs, infos) k ->
+        let cd, ci = gen_class r ~peers:infos k in
+        (cs @ [ cd ], infos @ [ ci ]))
+      ([], []) (List.init n_classes Fun.id)
+  in
+  let main_cls =
+    {
+      c_name = seed_cls;
+      c_kind = Kclass;
+      c_super = None;
+      c_impls = [];
+      c_fields = [];
+      c_methods = [ gen_seed_method r infos; gen_main_method r infos ];
+      c_pos = dummy_pos;
+    }
+  in
+  classes @ [ main_cls ]
+
+let to_source = Jir.Pretty.program_to_string

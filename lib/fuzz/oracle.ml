@@ -1,0 +1,327 @@
+(* Differential oracles over one generated program.
+
+   The detectors are run against each other (FastTrack vs Djit+ vs a
+   naive full-history happens-before recomputation vs lockset) on the
+   same recorded execution, the VM is run against itself (determinism),
+   the front-end against itself (round-trip) and the synthesis pipeline
+   against replay.  Any disagreement is a substrate bug by construction:
+   generated programs are well-typed and crash-free. *)
+
+open Detect
+
+type verdict = Pass | Fail of string
+
+type mutation = Drop_join | Drop_release
+
+let mutation_of_string = function
+  | "drop-join" -> Ok Drop_join
+  | "drop-release" -> Ok Drop_release
+  | s -> Error (Printf.sprintf "unknown mutation %S (have: drop-join, drop-release)" s)
+
+let mutation_to_string = function
+  | Drop_join -> "drop-join"
+  | Drop_release -> "drop-release"
+
+(* Seed roles, derived from the per-program base seed so every oracle is
+   a pure function of (program, seed). *)
+let vm_seed base = Par.seed ~base ~index:1
+let sched_seed base = Par.seed ~base ~index:2
+let replay_seed base = Par.seed ~base ~index:3
+
+let client_classes = [ Gen.seed_cls ]
+
+(* ---- the naive O(n²) happens-before oracle ---- *)
+
+(* Recompute vector clocks event by event with the same edge semantics
+   as FastTrack/Djit+ (release→acquire, spawn, join), but keep the full
+   clock history of every access and compare all conflicting pairs. *)
+let naive_hb_racy_vars (trace : Runtime.Trace.t) : (int * string * int option) list =
+  let clocks : (int, Vclock.t) Hashtbl.t = Hashtbl.create 8 in
+  let clock tid =
+    match Hashtbl.find_opt clocks tid with
+    | Some c -> c
+    | None ->
+      let c = Vclock.inc Vclock.empty tid in
+      Hashtbl.replace clocks tid c;
+      c
+  in
+  let lock_clocks : (int, Vclock.t) Hashtbl.t = Hashtbl.create 8 in
+  let history : (int * string * int option, (int * Vclock.t * bool) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let access tid ~obj ~field ~idx ~write =
+    let key = (obj, field, idx) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt history key) in
+    Hashtbl.replace history key ((tid, clock tid, write) :: prev)
+  in
+  Array.iter
+    (fun (ev : Runtime.Event.t) ->
+      match ev with
+      | Runtime.Event.Lock { tid; addr; _ } -> (
+        match Hashtbl.find_opt lock_clocks addr with
+        | Some lc -> Hashtbl.replace clocks tid (Vclock.join (clock tid) lc)
+        | None -> ignore (clock tid))
+      | Runtime.Event.Unlock { tid; addr; _ } ->
+        Hashtbl.replace lock_clocks addr (clock tid);
+        Hashtbl.replace clocks tid (Vclock.inc (clock tid) tid)
+      | Runtime.Event.Spawned { tid; new_tid; _ } ->
+        Hashtbl.replace clocks new_tid (Vclock.join (clock new_tid) (clock tid));
+        Hashtbl.replace clocks tid (Vclock.inc (clock tid) tid)
+      | Runtime.Event.Joined { tid; joined; _ } ->
+        Hashtbl.replace clocks tid (Vclock.join (clock tid) (clock joined))
+      | Runtime.Event.Read { tid; obj; field; idx; _ } ->
+        access tid ~obj ~field ~idx ~write:false
+      | Runtime.Event.Write { tid; obj; field; idx; _ } ->
+        access tid ~obj ~field ~idx ~write:true
+      | Runtime.Event.Const _ | Runtime.Event.Move _ | Runtime.Event.Alloc _
+      | Runtime.Event.Invoke _ | Runtime.Event.Param _ | Runtime.Event.Return _
+      | Runtime.Event.Thrown _ ->
+        ())
+    trace;
+  Hashtbl.fold
+    (fun key accs acc ->
+      let arr = Array.of_list accs in
+      let racy = ref false in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          let t1, c1, w1 = arr.(i) and t2, c2, w2 = arr.(j) in
+          if t1 <> t2 && (w1 || w2) && not (Vclock.leq c1 c2 || Vclock.leq c2 c1) then
+            racy := true
+        done
+      done;
+      if !racy then key :: acc else acc)
+    history []
+  |> List.sort_uniq compare
+
+let vars_of_reports reports =
+  reports
+  |> List.map (fun (r : Race.report) ->
+         (r.Race.r_first.Race.a_obj, r.Race.r_first.Race.a_field, r.Race.r_first.Race.a_idx))
+  |> List.sort_uniq compare
+
+let var_to_string (obj, field, idx) =
+  Printf.sprintf "@%d.%s%s" obj field
+    (match idx with Some i -> Printf.sprintf "[%d]" i | None -> "")
+
+let vars_to_string vars =
+  "{" ^ String.concat ", " (List.map var_to_string vars) ^ "}"
+
+(* ---- shared multithreaded run for the detector oracles ---- *)
+
+type mt_run = {
+  mt_trace : Runtime.Trace.t;
+  mt_ft_vars : (int * string * int option) list;
+  mt_djit_vars : (int * string * int option) list;
+  mt_lockset_vars : (int * string * int option) list;
+}
+
+let run_multithreaded ?mutate ~seed cu : mt_run =
+  let ft = Fasttrack.create () in
+  let dj = Djit.create () in
+  let ls = Lockset.create () in
+  let recorder = Runtime.Trace.recorder () in
+  let feed_ft ev =
+    match (mutate, ev) with
+    | Some Drop_join, Runtime.Event.Joined _ -> ()
+    | Some Drop_release, Runtime.Event.Unlock _ -> ()
+    | _ -> Fasttrack.observer ft ev
+  in
+  let _res, _m =
+    Conc.Exec.run_program ~seed:(vm_seed seed) cu ~client_classes
+      ~cls:Gen.seed_cls ~meth:Gen.main_meth
+      ~on_machine:(fun m ->
+        Runtime.Machine.add_observer m (Runtime.Trace.observer recorder);
+        Runtime.Machine.add_observer m feed_ft;
+        Runtime.Machine.add_observer m (Djit.observer dj);
+        Runtime.Machine.add_observer m (Lockset.observer ls))
+      (Conc.Scheduler.random ~seed:(sched_seed seed))
+  in
+  {
+    mt_trace = Runtime.Trace.snapshot recorder;
+    mt_ft_vars = vars_of_reports (Fasttrack.reports ft);
+    mt_djit_vars = vars_of_reports (Djit.reports dj);
+    mt_lockset_vars = vars_of_reports (Lockset.candidates ls);
+  }
+
+(* ---- individual oracles ---- *)
+
+let roundtrip program =
+  let p1 = Gen.to_source program in
+  match Jir.Parser.parse_program p1 with
+  | exception Jir.Diag.Error d -> Fail ("printed program does not parse: " ^ Jir.Diag.to_string d)
+  | reparsed ->
+    let p2 = Gen.to_source reparsed in
+    if String.equal p1 p2 then Pass
+    else
+      let n = min (String.length p1) (String.length p2) in
+      let i = ref 0 in
+      while !i < n && p1.[!i] = p2.[!i] do incr i done;
+      Fail (Printf.sprintf "pretty/parse round-trip diverges at byte %d" !i)
+
+let typecheck program =
+  match Jir.Compile.compile_source (Gen.to_source program) with
+  | _ -> Pass
+  | exception Jir.Diag.Error d -> Fail (Jir.Diag.to_string d)
+
+let vm_determinism ~seed cu =
+  let run () =
+    let recorder = Runtime.Trace.recorder () in
+    let res, m =
+      Conc.Exec.run_program ~seed:(vm_seed seed) cu ~client_classes
+        ~cls:Gen.seed_cls ~meth:Gen.main_meth
+        ~on_machine:(fun m ->
+          Runtime.Machine.add_observer m (Runtime.Trace.observer recorder))
+        (Conc.Scheduler.random ~seed:(sched_seed seed))
+    in
+    ( res.Conc.Exec.outcome,
+      res.Conc.Exec.steps,
+      res.Conc.Exec.crashes,
+      Runtime.Machine.output m,
+      Runtime.Trace.to_string (Runtime.Trace.snapshot recorder) )
+  in
+  let (o1, s1, c1, out1, t1) = run () in
+  let (o2, s2, c2, out2, t2) = run () in
+  if o1 = o2 && s1 = s2 && c1 = c2 && String.equal out1 out2 && String.equal t1 t2
+  then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "two identically-seeded runs differ: steps %d vs %d, output %S vs %S%s"
+         s1 s2 out1 out2
+         (if String.equal t1 t2 then "" else ", traces differ"))
+
+let detectors_agree ?mutate ~seed cu =
+  let r = run_multithreaded ?mutate ~seed cu in
+  let naive = naive_hb_racy_vars r.mt_trace in
+  if r.mt_ft_vars <> naive then
+    Fail
+      (Printf.sprintf "fasttrack=%s naive-hb=%s"
+         (vars_to_string r.mt_ft_vars) (vars_to_string naive))
+  else if r.mt_djit_vars <> naive then
+    Fail
+      (Printf.sprintf "djit=%s naive-hb=%s"
+         (vars_to_string r.mt_djit_vars) (vars_to_string naive))
+  else Pass
+
+let lockset_superset ?mutate ~seed cu =
+  (* the superset is checked against the un-mutated HB verdicts *)
+  ignore mutate;
+  let r = run_multithreaded ~seed cu in
+  let naive = naive_hb_racy_vars r.mt_trace in
+  let missing = List.filter (fun v -> not (List.mem v r.mt_lockset_vars)) naive in
+  if missing = [] then Pass
+  else
+    Fail
+      (Printf.sprintf "HB races %s not covered by lockset candidates %s"
+         (vars_to_string missing)
+         (vars_to_string r.mt_lockset_vars))
+
+let max_replayed_tests = 3
+
+let synthesis_replay ?(strict = true) ~seed cu =
+  match
+    Narada_core.Pipeline.analyze ~seed:(vm_seed seed) cu ~client_classes
+      ~seed_cls:Gen.seed_cls ~seed_meth:Gen.seed_meth
+  with
+  | Error msg ->
+    (* Generated programs have crash-free sequential seed tests, so a
+       pipeline error is a finding — but shrinking can manufacture
+       programs whose seed test legitimately diverges (e.g. a dropped
+       loop update), and those are not counterexamples. *)
+    if strict then Fail ("pipeline failed on a crash-free seed test: " ^ msg) else Pass
+  | Ok an ->
+    let tests =
+      List.filteri (fun i _ -> i < max_replayed_tests)
+        an.Narada_core.Pipeline.an_tests
+    in
+    let replay (t : Narada_core.Synth.test) =
+      let instantiate = Narada_core.Pipeline.instantiator an t in
+      let shot () =
+        match instantiate () with
+        | Error e -> Error e
+        | Ok inst ->
+          let ft = Fasttrack.attach inst.Detect.Racefuzzer.ri_machine in
+          let res =
+            Conc.Exec.run inst.Detect.Racefuzzer.ri_machine
+              (Conc.Scheduler.random ~seed:(replay_seed seed))
+          in
+          Ok
+            ( res.Conc.Exec.outcome,
+              res.Conc.Exec.steps,
+              Runtime.Machine.output inst.Detect.Racefuzzer.ri_machine,
+              List.sort Race.compare_key
+                (List.map Race.key_of (Fasttrack.reports ft)) )
+      in
+      if shot () = shot () then None
+      else Some (Printf.sprintf "test #%d replay diverges" t.Narada_core.Synth.st_id)
+    in
+    (match List.find_map replay tests with
+    | Some detail -> Fail detail
+    | None -> Pass)
+
+(* ---- the suite ---- *)
+
+(* Oracles run arbitrary (shrunk) programs end-to-end; a candidate with
+   its entry point or a referenced member deleted raises Diag.Error from
+   deep inside the VM/pipeline rather than from compile_source.  Such
+   exceptions are verdicts, not crashes. *)
+let guarded f =
+  try f () with
+  | Jir.Diag.Error d -> Fail ("raised: " ^ Jir.Diag.to_string d)
+  | exn -> Fail ("raised: " ^ Printexc.to_string exn)
+
+let names =
+  [
+    "roundtrip";
+    "typecheck";
+    "vm-determinism";
+    "detectors-agree";
+    "lockset-superset";
+    "synthesis-replay";
+  ]
+
+(* Oracles past the front-end need a compiled unit; if compilation
+   itself fails the later oracles are reported as failing too (the
+   typecheck oracle carries the diagnosis). *)
+let check ?mutate ~seed program =
+  let front = [ ("roundtrip", roundtrip program); ("typecheck", typecheck program) ] in
+  match Jir.Compile.compile_source (Gen.to_source program) with
+  | exception Jir.Diag.Error _ ->
+    front
+    @ List.map
+        (fun n -> (n, Fail "program does not compile"))
+        [ "vm-determinism"; "detectors-agree"; "lockset-superset"; "synthesis-replay" ]
+  | cu ->
+    front
+    @ [
+        ("vm-determinism", guarded (fun () -> vm_determinism ~seed cu));
+        ("detectors-agree", guarded (fun () -> detectors_agree ?mutate ~seed cu));
+        ("lockset-superset", guarded (fun () -> lockset_superset ?mutate ~seed cu));
+        ("synthesis-replay", guarded (fun () -> synthesis_replay ~seed cu));
+      ]
+
+let first_failure ?mutate ~seed program =
+  List.find_map
+    (fun (n, v) -> match v with Pass -> None | Fail d -> Some (n, d))
+    (check ?mutate ~seed program)
+
+let fails_oracle ?mutate ~seed ~oracle program =
+  (* Candidates that break outright (don't compile, lost their entry
+     point, raise from the pipeline) are not counterexamples for the
+     oracle being shrunk — reject them so shrinking stays on-topic. *)
+  let run_one () =
+    match oracle with
+    | "roundtrip" -> roundtrip program
+    | "typecheck" -> typecheck program
+    | _ -> (
+      match Jir.Compile.compile_source (Gen.to_source program) with
+      | exception Jir.Diag.Error _ -> Pass
+      | cu -> (
+        match oracle with
+        | "vm-determinism" -> vm_determinism ~seed cu
+        | "detectors-agree" -> detectors_agree ?mutate ~seed cu
+        | "lockset-superset" -> lockset_superset ?mutate ~seed cu
+        | "synthesis-replay" -> synthesis_replay ~strict:false ~seed cu
+        | _ -> Pass))
+  in
+  match (try run_one () with _ -> Pass) with Pass -> false | Fail _ -> true

@@ -1,0 +1,62 @@
+(** Differential oracles: invariants the whole stack depends on, checked
+    end-to-end on one generated program.
+
+    Each oracle either passes or fails with a human-readable detail
+    string.  Oracles are pure functions of (program, seed): every VM or
+    scheduler seed they use is derived from the given base seed with
+    {!Par.seed}, so verdicts are reproducible and independent of how the
+    campaign is parallelized. *)
+
+type verdict = Pass | Fail of string
+
+(** A detector-side fault injection for self-testing the harness: the
+    mutation is applied to the event stream FastTrack observes (the
+    other detectors and the naive oracle see the pristine trace), so a
+    campaign run with a mutation must report disagreement — proving the
+    differential oracle would catch a real detector bug of that class. *)
+type mutation =
+  | Drop_join  (** hide [Joined] events: lost join happens-before edges *)
+  | Drop_release  (** hide [Unlock] events: lost release→acquire edges *)
+
+val mutation_of_string : string -> (mutation, string) result
+val mutation_to_string : mutation -> string
+
+val names : string list
+(** Oracle names, in the order {!check} runs them. *)
+
+val check :
+  ?mutate:mutation -> seed:int64 -> Jir.Ast.program -> (string * verdict) list
+(** Run every oracle on the program; one [(name, verdict)] pair per
+    entry of {!names}, in order:
+
+    - ["roundtrip"]: pretty → parse → pretty is the identity at
+      whole-program scale;
+    - ["typecheck"]: the printed program type-checks and compiles;
+    - ["vm-determinism"]: two runs of [Main.main] under the same seeded
+      random scheduler produce byte-identical traces, outputs, step
+      counts and outcomes;
+    - ["detectors-agree"]: FastTrack, Djit+ and a naive O(n²)
+      full-history happens-before oracle flag exactly the same racy
+      variables on the recorded multithreaded trace;
+    - ["lockset-superset"]: lockset candidate pairs cover every
+      happens-before race on the same trace;
+    - ["synthesis-replay"]: the Narada pipeline runs on the sequential
+      seed test, and every synthesized test instantiates and replays
+      deterministically (two instantiations behave identically under
+      the same directed-scheduler seed). *)
+
+val first_failure :
+  ?mutate:mutation -> seed:int64 -> Jir.Ast.program -> (string * string) option
+(** [(oracle, detail)] of the first failing oracle, if any. *)
+
+val fails_oracle :
+  ?mutate:mutation -> seed:int64 -> oracle:string -> Jir.Ast.program -> bool
+(** Does this specific oracle fail on the program?  The shrinker's
+    predicate: candidates must keep failing the oracle that flagged the
+    original program. *)
+
+val naive_hb_racy_vars : Runtime.Trace.t -> (int * string * int option) list
+(** The naive oracle by itself: variables [(addr, field, idx)] with at
+    least one pair of conflicting, vector-clock-unordered accesses,
+    computed from full per-access clock history in O(n²).  Exposed for
+    the unit tests. *)

@@ -1,0 +1,16 @@
+(** Size-directed greedy shrinking of Jir programs.
+
+    [shrink ~keep p] repeatedly applies the first structural reduction
+    (remove a class, a field, a method, a statement, or replace a
+    compound statement by its body) whose result still satisfies [keep],
+    until no reduction does.  Reductions are enumerated coarsest-first,
+    so whole classes disappear before individual statements are tried.
+    Candidates that no longer compile simply fail [keep] (the oracle
+    predicates treat non-compiling programs as non-counterexamples), so
+    the shrinker needs no well-formedness bookkeeping of its own.
+
+    Returns the reduced program and the number of reductions applied.
+    Deterministic: a pure function of the input program and [keep]. *)
+
+val shrink :
+  keep:(Jir.Ast.program -> bool) -> Jir.Ast.program -> Jir.Ast.program * int

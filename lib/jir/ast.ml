@@ -162,3 +162,52 @@ let binop_to_string = function
   | Or -> "||"
 
 let unop_to_string = function Not -> "!" | Neg -> "-"
+
+(* ---- size metrics (generator / shrinker hooks) ---- *)
+
+let rec expr_size (e : expr) =
+  1
+  +
+  match e.desc with
+  | Eint _ | Ebool _ | Estr _ | Enull | Ethis | Evar _ -> 0
+  | Efield (e, _) | Eunop (_, e) | Enew_array (_, e) -> expr_size e
+  | Estatic_field _ -> 0
+  | Eindex (a, b) | Ebinop (_, a, b) -> expr_size a + expr_size b
+  | Ecall (r, _, args) -> List.fold_left (fun n a -> n + expr_size a) (expr_size r) args
+  | Estatic_call (_, _, args) | Enew (_, args) ->
+    List.fold_left (fun n a -> n + expr_size a) 0 args
+
+let rec stmt_size (s : stmt) =
+  1
+  +
+  match s.sdesc with
+  | Sdecl (_, _, None) | Sbreak | Scontinue | Sreturn None | Sthrow _ -> 0
+  | Sdecl (_, _, Some e) | Sexpr e | Sreturn (Some e) | Sassert e | Sjoin e ->
+    expr_size e
+  | Sassign (lv, e) ->
+    expr_size e
+    + (match lv with
+      | Lvar _ | Lstatic _ -> 0
+      | Lfield (o, _) -> expr_size o
+      | Lindex (a, i) -> expr_size a + expr_size i)
+  | Sif (c, t, e) -> expr_size c + block_size t + block_size e
+  | Swhile (c, b) -> expr_size c + block_size b
+  | Sfor (init, cond, update, b) ->
+    (match init with Some s -> stmt_size s | None -> 0)
+    + (match cond with Some e -> expr_size e | None -> 0)
+    + (match update with Some s -> stmt_size s | None -> 0)
+    + block_size b
+  | Ssync (e, b) -> expr_size e + block_size b
+  | Sspawn (_, recv, _, args) ->
+    List.fold_left (fun n a -> n + expr_size a) (expr_size recv) args
+
+and block_size (b : block) = List.fold_left (fun n s -> n + stmt_size s) 0 b
+
+let method_size (m : method_decl) = 1 + block_size m.m_body
+
+let class_size (c : class_decl) =
+  1
+  + List.length c.c_fields
+  + List.fold_left (fun n m -> n + method_size m) 0 c.c_methods
+
+let program_size (p : program) = List.fold_left (fun n c -> n + class_size c) 0 p

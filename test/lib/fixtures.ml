@@ -231,6 +231,20 @@ class Main {
 }
 |}
 
+(* QCheck suites run on a pinned RNG so CI failures replay exactly.
+   Set NARADA_QCHECK_RANDOM=1 to explore fresh seeds locally; the
+   chosen seed is printed so a failure can be pinned afterwards. *)
+let qcheck_rand () =
+  match Sys.getenv_opt "NARADA_QCHECK_RANDOM" with
+  | Some ("1" | "true" | "yes") ->
+    Random.self_init ();
+    let seed = Random.bits () in
+    Printf.printf "qcheck: random seed %d\n%!" seed;
+    Random.State.make [| seed |]
+  | _ -> Random.State.make [| 0x5eed |]
+
+let qcheck_case test = QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) test
+
 let compile src = Jir.Compile.compile_source src
 
 let analyze ?(client = "Seed") src =

@@ -70,6 +70,50 @@ let test_determinism () =
   Alcotest.(check int) "same harmful" ce1.Eval.Evaluate.cl_harmful
     ce2.Eval.Evaluate.cl_harmful
 
+(* [evaluate_corpus] edge cases.  Timing fields differ run to run, so
+   corpus results are compared on the measurement columns only. *)
+let summary (ce : Eval.Evaluate.class_eval) =
+  Eval.Evaluate.
+    ( ce.cl_methods,
+      ce.cl_pairs,
+      ce.cl_tests,
+      ce.cl_detected,
+      ce.cl_reproduced,
+      ce.cl_harmful,
+      ce.cl_benign )
+
+let test_corpus_empty () =
+  Alcotest.(check int) "no results" 0 (List.length (Eval.Evaluate.evaluate_corpus []))
+
+let test_corpus_singleton () =
+  match Corpus.Registry.find "C9" with
+  | None -> Alcotest.fail "no C9"
+  | Some e -> (
+    let direct = eval "C9" in
+    match Eval.Evaluate.evaluate_corpus [ e ] with
+    | [ (e', Ok ce) ] ->
+      Alcotest.(check string) "same entry" e.Corpus.Corpus_def.e_id
+        e'.Corpus.Corpus_def.e_id;
+      Alcotest.(check bool) "matches evaluate_class" true (summary ce = summary direct)
+    | _ -> Alcotest.fail "expected exactly one Ok result")
+
+let test_corpus_oversubscribed () =
+  match (Corpus.Registry.find "C7", Corpus.Registry.find "C9") with
+  | Some a, Some b ->
+    let seq = Eval.Evaluate.evaluate_corpus ~jobs:1 [ a; b ] in
+    let wide = Eval.Evaluate.evaluate_corpus ~jobs:64 [ a; b ] in
+    List.iter2
+      (fun (ea, ra) (eb, rb) ->
+        Alcotest.(check string) "order preserved" ea.Corpus.Corpus_def.e_id
+          eb.Corpus.Corpus_def.e_id;
+        match (ra, rb) with
+        | Ok ca, Ok cb ->
+          Alcotest.(check bool) "same summary" true (summary ca = summary cb)
+        | Error x, Error y -> Alcotest.(check string) "same error" x y
+        | _ -> Alcotest.fail "jobs width changed an outcome")
+      seq wide
+  | _ -> Alcotest.fail "missing corpus entries"
+
 let test_ablation () =
   match Corpus.Registry.find "C1" with
   | None -> Alcotest.fail "no C1"
@@ -101,6 +145,12 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_determinism;
         ] );
       ("tables", [ Alcotest.test_case "renderers" `Quick test_table_renderers ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "empty" `Quick test_corpus_empty;
+          Alcotest.test_case "singleton" `Quick test_corpus_singleton;
+          Alcotest.test_case "jobs > work list" `Slow test_corpus_oversubscribed;
+        ] );
       ( "ablation",
         [ Alcotest.test_case "context on/off (C1)" `Slow test_ablation ] );
     ]

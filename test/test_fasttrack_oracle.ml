@@ -136,7 +136,7 @@ let fasttrack_racy_vars ops : int list =
   |> List.sort_uniq Int.compare
 
 let agreement =
-  QCheck_alcotest.to_alcotest
+  Testlib.Fixtures.qcheck_case
     (QCheck.Test.make ~name:"fasttrack = naive HB oracle (racy variables)"
        ~count:1000 arb_trace (fun ops ->
          naive_racy_vars ops = fasttrack_racy_vars ops))
@@ -151,12 +151,12 @@ let djit_racy_vars ops : int list =
 let djit_agreement =
   (* FastTrack's correctness theorem: the epoch optimization flags
      exactly the variables the full-vector-clock Djit+ flags. *)
-  QCheck_alcotest.to_alcotest
+  Testlib.Fixtures.qcheck_case
     (QCheck.Test.make ~name:"fasttrack = djit+ (racy variables)" ~count:1000
        arb_trace (fun ops -> djit_racy_vars ops = fasttrack_racy_vars ops))
 
 let djit_vs_naive =
-  QCheck_alcotest.to_alcotest
+  Testlib.Fixtures.qcheck_case
     (QCheck.Test.make ~name:"djit+ = naive HB oracle (racy variables)"
        ~count:1000 arb_trace (fun ops -> djit_racy_vars ops = naive_racy_vars ops))
 
@@ -164,7 +164,7 @@ let eraser_superset =
   (* Lockset candidates over-approximate happens-before races on these
      traces (no fork/join edges involved): every FastTrack-racy variable
      must also have a lockset candidate. *)
-  QCheck_alcotest.to_alcotest
+  Testlib.Fixtures.qcheck_case
     (QCheck.Test.make ~name:"lockset candidates ⊇ HB races" ~count:1000
        arb_trace (fun ops ->
          let ls = Lockset.create () in

@@ -2,7 +2,8 @@
 
 open Runtime
 
-let to_alcotest = QCheck_alcotest.to_alcotest
+(* Pinned seed by default; NARADA_QCHECK_RANDOM=1 explores. *)
+let to_alcotest = Testlib.Fixtures.qcheck_case
 
 (* Random monitor op sequences over 2 addresses and 3 threads. *)
 type mop = Enter of int * int | Exit of int * int (* tid, addr-index *)

@@ -147,7 +147,8 @@ let executes_prop (p : program) =
         | Error _ -> false)
       (Jir.Code.find_cls_exn cu "G").Jir.Code.cc_methods
 
-let to_alcotest = QCheck_alcotest.to_alcotest
+(* Pinned seed by default; NARADA_QCHECK_RANDOM=1 explores. *)
+let to_alcotest = Testlib.Fixtures.qcheck_case
 
 let () =
   Alcotest.run "parser-qcheck"

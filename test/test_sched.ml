@@ -18,7 +18,7 @@ let test_round_robin_deterministic () =
     r2.Conc.Exec.decisions
 
 let seed_determinism =
-  QCheck_alcotest.to_alcotest
+  Testlib.Fixtures.qcheck_case
     (QCheck.Test.make ~name:"random scheduler deterministic per seed" ~count:30
        QCheck.(int_bound 10_000)
        (fun seed ->
@@ -29,7 +29,7 @@ let seed_determinism =
          && r1.Conc.Exec.decisions = r2.Conc.Exec.decisions))
 
 let replay_matches =
-  QCheck_alcotest.to_alcotest
+  Testlib.Fixtures.qcheck_case
     (QCheck.Test.make ~name:"replaying a schedule reproduces the outcome"
        ~count:30
        QCheck.(int_bound 10_000)

@@ -13,7 +13,7 @@ let vc_gen =
 let arb_vc = QCheck.make ~print:(fun c -> Vclock.to_string c) vc_gen
 
 let prop name count arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+  Testlib.Fixtures.qcheck_case (QCheck.Test.make ~name ~count arb law)
 
 let join_commutative =
   prop "join commutative" 500
