@@ -142,6 +142,62 @@ let write_bench_parallel ~jobs ~wall_s =
     bench_parallel_file jobs wall_s
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_static.json: wall-clock of the open-world static race          *)
+(* analyzer (points-to + escape + access collection + pairing) over     *)
+(* the whole corpus, sequential vs fanned out over a domain pool.       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_static_file = "BENCH_static.json"
+
+let static_bench () =
+  (* Warm the shared compilation cache so only the analyzer is timed. *)
+  List.iter (fun e -> ignore (cu_of e)) Corpus.Registry.all;
+  let analyze_all ~jobs =
+    Par.map ~jobs Corpus.Registry.all (fun e ->
+        let cu = cu_of e in
+        let an = Static.Analyze.run ~open_world:true cu.Jir.Code.cu_program in
+        ( e.Corpus.Corpus_def.e_id,
+          List.length (Static.Analyze.candidates an) ))
+  in
+  let wall_at jobs =
+    (* best of three: the analyzer is millisecond-scale, so a single
+       sample is mostly scheduler noise *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (analyze_all ~jobs);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let counts = analyze_all ~jobs:1 in
+  let w1 = wall_at 1 and w4 = wall_at 4 in
+  let oc = open_out bench_static_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      output_string oc
+        "  \"benchmark\": \"open-world static race analysis, whole corpus\",\n";
+      output_string oc "  \"classes\": [\n";
+      List.iteri
+        (fun i (id, n) ->
+          Printf.fprintf oc "    { \"id\": \"%s\", \"candidates\": %d }%s\n" id
+            n
+            (if i < List.length counts - 1 then "," else ""))
+        counts;
+      output_string oc "  ],\n";
+      output_string oc "  \"configs\": [\n";
+      Printf.fprintf oc
+        "    { \"jobs\": 1, \"wall_s\": %.4f, \"speedup\": 1.00 },\n" w1;
+      Printf.fprintf oc
+        "    { \"jobs\": 4, \"wall_s\": %.4f, \"speedup\": %.2f }\n" w4
+        (if w4 > 0.0 then w1 /. w4 else 1.0);
+      output_string oc "  ]\n}\n");
+  Printf.printf "wrote %s (static analyzer wall-clock: %.1fms at jobs=1, %.1fms at jobs=4)\n\n"
+    bench_static_file (1000.0 *. w1) (1000.0 *. w4)
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler shootout: how often does each scheduler expose the C1      *)
 (* motivating race on one execution of the synthesized Fig. 3 test?     *)
 (* ------------------------------------------------------------------ *)
@@ -342,5 +398,6 @@ let () =
   let evals, wall_s = regenerate_tables ~with_contege:true ~jobs in
   ignore (evals : Eval.Evaluate.class_eval list);
   write_bench_parallel ~jobs ~wall_s;
+  static_bench ();
   scheduler_shootout ();
   if not quick then run_bechamel ()

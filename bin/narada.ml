@@ -161,15 +161,24 @@ let trace_cmd =
 
 (* ---- analyze ---- *)
 
+let static_filter_arg =
+  Arg.(
+    value & flag
+    & info [ "static-filter" ]
+        ~doc:
+          "Prune racy pairs not covered by the static race analyzer's \
+           candidate set before synthesis (kept and pruned counts are both \
+           reported).")
+
 let analyze_cmd =
-  let run file corpus client entry verbose =
+  let run file corpus client entry verbose static_filter =
     let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
     let client = if corpus <> None then default_client else client in
     let entry = if corpus <> None then default_entry else entry in
     let an =
       or_die
-        (Narada_core.Pipeline.analyze_source src ~client_classes:[ client ]
-           ~seed_cls:client ~seed_meth:entry)
+        (Narada_core.Pipeline.analyze_source src ~static_filter
+           ~client_classes:[ client ] ~seed_cls:client ~seed_meth:entry)
     in
     Printf.printf "%s\n" (Narada_core.Pipeline.summary_to_string an);
     if verbose then begin
@@ -194,7 +203,79 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the trace analysis: accesses, setters, racy pairs (§3.1-3.3).")
-    Term.(const run $ file_arg $ corpus_arg $ client_arg $ entry_arg $ verbose)
+    Term.(
+      const run $ file_arg $ corpus_arg $ client_arg $ entry_arg $ verbose
+      $ static_filter_arg)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  (* Lint one compiled unit; the whole block of text is assembled per
+     unit so the corpus fan-out merges deterministically. *)
+  let lint_unit ~label cu =
+    let an = Static.Analyze.run ~open_world:true cu.Jir.Code.cu_program in
+    let findings = Static.Lint.run ~file:label an cu in
+    let errors, warnings =
+      List.fold_left
+        (fun (e, w) (f : Static.Lint.finding) ->
+          match f.Static.Lint.f_sev with
+          | Jir.Diag.Sev_error -> (e + 1, w)
+          | Jir.Diag.Sev_warning -> (e, w + 1))
+        (0, 0) findings
+    in
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun f ->
+        Buffer.add_string buf (Static.Lint.to_string f);
+        Buffer.add_char buf '\n')
+      findings;
+    Buffer.add_string buf
+      (Printf.sprintf "%s: %d finding%s (%d error%s, %d warning%s)\n" label
+         (errors + warnings)
+         (if errors + warnings = 1 then "" else "s")
+         errors
+         (if errors = 1 then "" else "s")
+         warnings
+         (if warnings = 1 then "" else "s"));
+    Buffer.contents buf
+  in
+  let run file corpus all jobs =
+    if all then begin
+      let blocks =
+        Par.map ~jobs:(max 1 jobs) Corpus.Registry.all (fun e ->
+            let cu = Corpus.Registry.compiled_unit e in
+            Printf.sprintf "== %s %s ==\n%s" e.Corpus.Corpus_def.e_id
+              e.Corpus.Corpus_def.e_name
+              (lint_unit ~label:e.Corpus.Corpus_def.e_id cu))
+      in
+      print_string (String.concat "\n" blocks)
+    end
+    else begin
+      let src, _, _, centry = or_die (load_source ~file ~corpus) in
+      let label =
+        match (file, centry) with
+        | _, Some e -> e.Corpus.Corpus_def.e_id
+        | Some f, None -> f
+        | None, None -> "<input>"
+      in
+      let cu = compile_or_die ?entry:centry src in
+      print_string (lint_unit ~label cu)
+    end
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Lint every corpus entry (fans out over --jobs).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static race analysis and lock-discipline lint: points-to + lockset \
+          race candidates, unguarded writes to fields guarded elsewhere, \
+          dead sync regions, and bytecode monitor-balance checks, with \
+          source positions.  Exit status reflects analyzer crashes only, \
+          never findings; output is byte-identical for every --jobs.")
+    Term.(const run $ file_arg $ corpus_arg $ all $ jobs_arg)
 
 (* ---- synthesize ---- *)
 
@@ -223,23 +304,34 @@ let synthesize_cmd =
 (* ---- detect ---- *)
 
 let detect_cmd =
-  let run corpus_id jobs =
+  let run corpus_id jobs static_filter =
     match Corpus.Registry.find corpus_id with
     | None ->
       prerr_endline ("narada: unknown corpus id " ^ corpus_id);
       exit 1
     | Some e -> (
-      let opts = { Eval.Evaluate.default_options with opt_jobs = max 1 jobs } in
+      let opts =
+        {
+          Eval.Evaluate.default_options with
+          opt_jobs = max 1 jobs;
+          opt_static_filter = static_filter;
+        }
+      in
       match Eval.Evaluate.evaluate_class ~opts e with
       | Error msg ->
         prerr_endline ("narada: " ^ msg);
         exit 1
       | Ok ce ->
         Printf.printf
-          "%s %s: pairs=%d tests=%d detected=%d reproduced=%d harmful=%d benign=%d (synthesis %.3fs, detection %.3fs)\n"
+          "%s %s: pairs=%d%s tests=%d detected=%d reproduced=%d harmful=%d benign=%d (synthesis %.3fs, detection %.3fs)\n"
           ce.Eval.Evaluate.cl_entry.Corpus.Corpus_def.e_id
           ce.Eval.Evaluate.cl_entry.Corpus.Corpus_def.e_name
-          ce.Eval.Evaluate.cl_pairs ce.Eval.Evaluate.cl_tests
+          ce.Eval.Evaluate.cl_pairs
+          (if ce.Eval.Evaluate.cl_static_filter then
+             Printf.sprintf " (static filter pruned %d)"
+               ce.Eval.Evaluate.cl_pairs_pruned
+           else "")
+          ce.Eval.Evaluate.cl_tests
           ce.Eval.Evaluate.cl_detected ce.Eval.Evaluate.cl_reproduced
           ce.Eval.Evaluate.cl_harmful ce.Eval.Evaluate.cl_benign
           ce.Eval.Evaluate.cl_seconds ce.Eval.Evaluate.cl_detect_seconds;
@@ -265,12 +357,15 @@ let detect_cmd =
        ~doc:
          "Synthesize tests for a corpus class, run them under the detection \
           stack and report every race (detected / reproduced / triaged).")
-    Term.(const run $ id $ jobs_arg)
+    Term.(const run $ id $ jobs_arg $ static_filter_arg)
 
 (* ---- eval ---- *)
 
 let eval_cmd =
-  let run with_contege budget jobs =
+  let run with_contege budget jobs static_filter =
+    let opts =
+      { Eval.Evaluate.default_options with opt_static_filter = static_filter }
+    in
     let evals =
       List.filter_map
         (fun (e, r) ->
@@ -279,7 +374,8 @@ let eval_cmd =
           | Error msg ->
             Printf.eprintf "narada: %s failed: %s\n" e.Corpus.Corpus_def.e_id msg;
             None)
-        (Eval.Evaluate.evaluate_corpus ~jobs:(max 1 jobs) Corpus.Registry.all)
+        (Eval.Evaluate.evaluate_corpus ~opts ~jobs:(max 1 jobs)
+           Corpus.Registry.all)
     in
     print_string (Eval.Tables.table3 ());
     print_newline ();
@@ -304,7 +400,7 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Reproduce Tables 3-5 and Figure 14 over the whole corpus.")
-    Term.(const run $ with_contege $ budget $ jobs_arg)
+    Term.(const run $ with_contege $ budget $ jobs_arg $ static_filter_arg)
 
 (* ---- contege ---- *)
 
@@ -461,9 +557,10 @@ let fuzz_cmd =
       & opt (some string) None
       & info [ "mutate" ] ~docv:"M"
           ~doc:
-            "Self-test the harness: inject a detector fault (drop-join, \
-             drop-release) into the event stream FastTrack observes and \
-             check that the differential oracle catches it.")
+            "Self-test the harness: inject a fault (drop-join, drop-release \
+             corrupt the event stream FastTrack observes; static-drop-sync \
+             plants an unsoundness in the static race analyzer) and check \
+             that the differential oracles catch it.")
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -471,8 +568,9 @@ let fuzz_cmd =
          "Crucible: generate random well-typed Jir programs and cross-check \
           the whole stack with differential oracles (pretty/parse \
           round-trip, VM determinism, FastTrack vs Djit+ vs a naive \
-          happens-before oracle, lockset coverage, synthesis replay).  \
-          Deterministic: the report is byte-identical for every --jobs.")
+          happens-before oracle, lockset coverage, static race-analyzer \
+          soundness, synthesis replay).  Deterministic: the report is \
+          byte-identical for every --jobs.")
     Term.(const run $ count $ seed_arg $ jobs_arg $ smoke $ mutate)
 
 (* ---- deadlock ---- *)
@@ -521,6 +619,7 @@ let main_cmd =
       run_cmd;
       trace_cmd;
       analyze_cmd;
+      lint_cmd;
       synthesize_cmd;
       detect_cmd;
       eval_cmd;

@@ -10,12 +10,27 @@ type analysis = {
   an_trace_len : int;
   an_access : Access.result;
   an_pairs : Pairs.pair list;
+  an_pairs_pruned : int;
+  an_static_filter : bool;
   an_tests : Synth.test list;
   an_seconds : float;
 }
 
-let analyze ?(seed = 42L) (cu : Jir.Code.unit_) ~client_classes ~seed_cls
-    ~seed_meth : (analysis, string) result =
+(* Intersect dynamically generated pairs with the static candidate set
+   at the (field, unordered method pair) granularity.  The static set
+   over-approximates dynamic races (Crucible machine-checks this), so
+   pruned pairs cannot be confirmable races. *)
+let static_prune (cu : Jir.Code.unit_) (pairs : Pairs.pair list) =
+  let an = Static.Analyze.run ~open_world:true cu.Jir.Code.cu_program in
+  List.partition
+    (fun (p : Pairs.pair) ->
+      Static.Analyze.covers an ~field:p.Pairs.p_field
+        ~m1:p.Pairs.p_a.Pairs.ep_site.Runtime.Event.s_meth
+        ~m2:p.Pairs.p_b.Pairs.ep_site.Runtime.Event.s_meth)
+    pairs
+
+let analyze ?(seed = 42L) ?(static_filter = false) (cu : Jir.Code.unit_)
+    ~client_classes ~seed_cls ~seed_meth : (analysis, string) result =
   let t0 = Unix.gettimeofday () in
   let _m, trace, res =
     Runtime.Interp.record ~seed cu ~client_classes ~cls:seed_cls ~meth:seed_meth
@@ -24,7 +39,10 @@ let analyze ?(seed = 42L) (cu : Jir.Code.unit_) ~client_classes ~seed_cls
   | Error e -> Error (Printf.sprintf "seed test failed: %s" e)
   | Ok _ ->
     let access = Access.analyze cu ~client_classes trace in
-    let pairs = Pairs.generate access in
+    let all_pairs = Pairs.generate access in
+    let pairs, pruned =
+      if static_filter then static_prune cu all_pairs else (all_pairs, [])
+    in
     let tests =
       Synth.plan cu.Jir.Code.cu_program access.Access.summary ~seed_cls
         ~seed_meth pairs
@@ -39,14 +57,16 @@ let analyze ?(seed = 42L) (cu : Jir.Code.unit_) ~client_classes ~seed_cls
         an_trace_len = Runtime.Trace.length trace;
         an_access = access;
         an_pairs = pairs;
+        an_pairs_pruned = List.length pruned;
+        an_static_filter = static_filter;
         an_tests = tests;
         an_seconds = t1 -. t0;
       }
 
-let analyze_source ?seed src ~client_classes ~seed_cls ~seed_meth :
-    (analysis, string) result =
+let analyze_source ?seed ?static_filter src ~client_classes ~seed_cls ~seed_meth
+    : (analysis, string) result =
   match Jir.Compile.compile_source src with
-  | cu -> analyze ?seed cu ~client_classes ~seed_cls ~seed_meth
+  | cu -> analyze ?seed ?static_filter cu ~client_classes ~seed_cls ~seed_meth
   | exception Jir.Diag.Error e -> Error (Jir.Diag.to_string e)
 
 let instantiator (an : analysis) (t : Synth.test) : Detect.Racefuzzer.instantiator =
@@ -54,8 +74,12 @@ let instantiator (an : analysis) (t : Synth.test) : Detect.Racefuzzer.instantiat
 
 let summary_to_string (an : analysis) =
   Printf.sprintf
-    "trace=%d events, accesses=%d, setters=%d, pairs=%d, tests=%d (%.2fs)"
+    "trace=%d events, accesses=%d, setters=%d, pairs=%d%s, tests=%d (%.2fs)"
     an.an_trace_len
     (List.length an.an_access.Access.accesses)
     (Summary.count an.an_access.Access.summary)
-    (List.length an.an_pairs) (List.length an.an_tests) an.an_seconds
+    (List.length an.an_pairs)
+    (if an.an_static_filter then
+       Printf.sprintf " (static filter pruned %d)" an.an_pairs_pruned
+     else "")
+    (List.length an.an_tests) an.an_seconds

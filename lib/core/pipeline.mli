@@ -10,20 +10,29 @@ type analysis = {
   an_trace_len : int;
   an_access : Access.result;
   an_pairs : Pairs.pair list;
+  an_pairs_pruned : int;
+      (** pairs removed by the static filter (0 when off) *)
+  an_static_filter : bool;
   an_tests : Synth.test list;
   an_seconds : float;
 }
 
 val analyze :
   ?seed:int64 ->
+  ?static_filter:bool ->
   Jir.Code.unit_ ->
   client_classes:Jir.Ast.id list ->
   seed_cls:Jir.Ast.id ->
   seed_meth:Jir.Ast.id ->
   (analysis, string) result
+(** [~static_filter:true] intersects the generated pairs with the
+    static race analyzer's candidate set before synthesis; kept and
+    pruned counts are reported separately so unfiltered totals stay
+    reconstructible. *)
 
 val analyze_source :
   ?seed:int64 ->
+  ?static_filter:bool ->
   string ->
   client_classes:Jir.Ast.id list ->
   seed_cls:Jir.Ast.id ->

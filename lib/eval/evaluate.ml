@@ -32,6 +32,8 @@ type class_eval = {
   cl_methods : int;
   cl_loc : int;
   cl_pairs : int;
+  cl_pairs_pruned : int; (* pairs dropped by the static filter (0 when off) *)
+  cl_static_filter : bool;
   cl_tests : int;
   cl_seconds : float; (* synthesis time (pipeline) *)
   cl_detect_seconds : float; (* detection stage *)
@@ -47,10 +49,17 @@ type options = {
   opt_confirm_runs : int; (* directed runs per candidate *)
   opt_seed : int64;
   opt_jobs : int; (* fan-out width inside one test's detection *)
+  opt_static_filter : bool; (* prune pairs through the static analyzer *)
 }
 
 let default_options =
-  { opt_schedules = 3; opt_confirm_runs = 6; opt_seed = 7L; opt_jobs = 1 }
+  {
+    opt_schedules = 3;
+    opt_confirm_runs = 6;
+    opt_seed = 7L;
+    opt_jobs = 1;
+    opt_static_filter = false;
+  }
 
 (* Execute one synthesized test under a random schedule with the hybrid
    detector attached; returns the candidate races. *)
@@ -124,13 +133,13 @@ let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
     }
 
 (* Compile (through the shared registry cache) and analyze one entry. *)
-let analyze_entry (e : Corpus.Corpus_def.entry) :
+let analyze_entry ?(static_filter = false) (e : Corpus.Corpus_def.entry) :
     (Jir.Code.unit_ * Narada_core.Pipeline.analysis, string) result =
   match Corpus.Registry.compiled_unit e with
   | exception Jir.Diag.Error d -> Error (Jir.Diag.to_string d)
   | cu -> (
     match
-      Narada_core.Pipeline.analyze cu
+      Narada_core.Pipeline.analyze cu ~static_filter
         ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
         ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
         ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
@@ -168,6 +177,8 @@ let assemble_class (e : Corpus.Corpus_def.entry) (cu : Jir.Code.unit_)
     cl_methods = Corpus.Corpus_def.method_count prog e;
     cl_loc = Corpus.Corpus_def.loc_count prog e;
     cl_pairs = List.length an.Narada_core.Pipeline.an_pairs;
+    cl_pairs_pruned = an.Narada_core.Pipeline.an_pairs_pruned;
+    cl_static_filter = an.Narada_core.Pipeline.an_static_filter;
     cl_tests = List.length an.Narada_core.Pipeline.an_tests;
     cl_seconds = an.Narada_core.Pipeline.an_seconds;
     cl_detect_seconds = detect_seconds;
@@ -180,7 +191,7 @@ let assemble_class (e : Corpus.Corpus_def.entry) (cu : Jir.Code.unit_)
 
 let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
     (class_eval, string) result =
-  match analyze_entry e with
+  match analyze_entry ~static_filter:opts.opt_static_filter e with
   | Error err -> Error err
   | Ok (cu, an) ->
     let t0 = Unix.gettimeofday () in
@@ -200,7 +211,11 @@ let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
 let evaluate_corpus ?(opts = default_options) ?(jobs = 1)
     (entries : Corpus.Corpus_def.entry list) :
     (Corpus.Corpus_def.entry * (class_eval, string) result) list =
-  let analyzed = List.map (fun e -> (e, analyze_entry e)) entries in
+  let analyzed =
+    List.map
+      (fun e -> (e, analyze_entry ~static_filter:opts.opt_static_filter e))
+      entries
+  in
   let items =
     List.concat
       (List.mapi

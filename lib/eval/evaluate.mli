@@ -20,6 +20,8 @@ type class_eval = {
   cl_methods : int;
   cl_loc : int;
   cl_pairs : int;
+  cl_pairs_pruned : int;  (** pairs dropped by the static filter (0 when off) *)
+  cl_static_filter : bool;
   cl_tests : int;
   cl_seconds : float;  (** synthesis time *)
   cl_detect_seconds : float;
@@ -39,10 +41,14 @@ type options = {
           and directed confirmation runs are independent seeded VM
           executions and run on a {!Par} domain pool when [> 1].
           Results are identical for every width. *)
+  opt_static_filter : bool;
+      (** intersect generated pairs with the static analyzer's
+          candidate set before synthesis; [cl_pairs_pruned] reports
+          how many were dropped *)
 }
 
 val default_options : options
-(** 3 schedules, 6 confirmation runs, seed 7, jobs 1. *)
+(** 3 schedules, 6 confirmation runs, seed 7, jobs 1, no static filter. *)
 
 val evaluate_test :
   options -> Narada_core.Pipeline.analysis -> Narada_core.Synth.test -> test_eval

@@ -11,16 +11,22 @@ open Detect
 
 type verdict = Pass | Fail of string
 
-type mutation = Drop_join | Drop_release
+type mutation = Drop_join | Drop_release | Static_drop_sync
 
 let mutation_of_string = function
   | "drop-join" -> Ok Drop_join
   | "drop-release" -> Ok Drop_release
-  | s -> Error (Printf.sprintf "unknown mutation %S (have: drop-join, drop-release)" s)
+  | "static-drop-sync" -> Ok Static_drop_sync
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown mutation %S (have: drop-join, drop-release, static-drop-sync)"
+         s)
 
 let mutation_to_string = function
   | Drop_join -> "drop-join"
   | Drop_release -> "drop-release"
+  | Static_drop_sync -> "static-drop-sync"
 
 (* Seed roles, derived from the per-program base seed so every oracle is
    a pure function of (program, seed). *)
@@ -110,6 +116,7 @@ let vars_to_string vars =
 
 type mt_run = {
   mt_trace : Runtime.Trace.t;
+  mt_ft_reports : Race.report list;
   mt_ft_vars : (int * string * int option) list;
   mt_djit_vars : (int * string * int option) list;
   mt_lockset_vars : (int * string * int option) list;
@@ -138,6 +145,7 @@ let run_multithreaded ?mutate ~seed cu : mt_run =
   in
   {
     mt_trace = Runtime.Trace.snapshot recorder;
+    mt_ft_reports = Fasttrack.reports ft;
     mt_ft_vars = vars_of_reports (Fasttrack.reports ft);
     mt_djit_vars = vars_of_reports (Djit.reports dj);
     mt_lockset_vars = vars_of_reports (Lockset.candidates ls);
@@ -216,6 +224,36 @@ let lockset_superset ?mutate ~seed cu =
          (vars_to_string missing)
          (vars_to_string r.mt_lockset_vars))
 
+(* The static race analyzer must over-approximate every dynamic race:
+   each FastTrack report's (field, unordered method pair) identity must
+   be covered by some static candidate.  Checked against an un-mutated
+   FastTrack run — feed mutations corrupt the detector's input, not the
+   program — while the [static-drop-sync] mutation plants a real
+   unsoundness in the analyzer itself to prove this oracle has teeth. *)
+let static_superset ?mutate ~seed cu =
+  let static_mutate =
+    match mutate with
+    | Some Static_drop_sync -> Some Static.Analyze.Drop_sync
+    | Some (Drop_join | Drop_release) | None -> None
+  in
+  let an = Static.Analyze.run ?mutate:static_mutate cu.Jir.Code.cu_program in
+  let r = run_multithreaded ~seed cu in
+  let uncovered (rep : Race.report) =
+    let m1 = rep.Race.r_first.Race.a_site.Runtime.Event.s_meth in
+    let m2 = rep.Race.r_second.Race.a_site.Runtime.Event.s_meth in
+    let field = rep.Race.r_first.Race.a_field in
+    if Static.Analyze.covers an ~field ~m1 ~m2 then None
+    else Some (Printf.sprintf ".%s: %s <-> %s" field m1 m2)
+  in
+  match List.sort_uniq compare (List.filter_map uncovered r.mt_ft_reports) with
+  | [] -> Pass
+  | missing ->
+    Fail
+      (Printf.sprintf
+         "dynamic races not covered by the %d static candidates: %s"
+         (List.length (Static.Analyze.candidates an))
+         (String.concat "; " missing))
+
 let max_replayed_tests = 3
 
 let synthesis_replay ?(strict = true) ~seed cu =
@@ -277,6 +315,7 @@ let names =
     "vm-determinism";
     "detectors-agree";
     "lockset-superset";
+    "static-superset";
     "synthesis-replay";
   ]
 
@@ -290,13 +329,20 @@ let check ?mutate ~seed program =
     front
     @ List.map
         (fun n -> (n, Fail "program does not compile"))
-        [ "vm-determinism"; "detectors-agree"; "lockset-superset"; "synthesis-replay" ]
+        [
+          "vm-determinism";
+          "detectors-agree";
+          "lockset-superset";
+          "static-superset";
+          "synthesis-replay";
+        ]
   | cu ->
     front
     @ [
         ("vm-determinism", guarded (fun () -> vm_determinism ~seed cu));
         ("detectors-agree", guarded (fun () -> detectors_agree ?mutate ~seed cu));
         ("lockset-superset", guarded (fun () -> lockset_superset ?mutate ~seed cu));
+        ("static-superset", guarded (fun () -> static_superset ?mutate ~seed cu));
         ("synthesis-replay", guarded (fun () -> synthesis_replay ~seed cu));
       ]
 
@@ -321,6 +367,7 @@ let fails_oracle ?mutate ~seed ~oracle program =
         | "vm-determinism" -> vm_determinism ~seed cu
         | "detectors-agree" -> detectors_agree ?mutate ~seed cu
         | "lockset-superset" -> lockset_superset ?mutate ~seed cu
+        | "static-superset" -> static_superset ?mutate ~seed cu
         | "synthesis-replay" -> synthesis_replay ~strict:false ~seed cu
         | _ -> Pass))
   in

@@ -9,14 +9,18 @@
 
 type verdict = Pass | Fail of string
 
-(** A detector-side fault injection for self-testing the harness: the
-    mutation is applied to the event stream FastTrack observes (the
-    other detectors and the naive oracle see the pristine trace), so a
-    campaign run with a mutation must report disagreement — proving the
-    differential oracle would catch a real detector bug of that class. *)
+(** A fault injection for self-testing the harness.  [Drop_join] and
+    [Drop_release] corrupt the event stream FastTrack observes (the
+    other detectors and the naive oracle see the pristine trace);
+    [Static_drop_sync] plants an unsoundness inside the static race
+    analyzer instead.  A campaign run with a mutation must report
+    disagreement — proving the differential oracle would catch a real
+    bug of that class. *)
 type mutation =
   | Drop_join  (** hide [Joined] events: lost join happens-before edges *)
   | Drop_release  (** hide [Unlock] events: lost release→acquire edges *)
+  | Static_drop_sync
+      (** drop sync-region accesses from static candidate generation *)
 
 val mutation_of_string : string -> (mutation, string) result
 val mutation_to_string : mutation -> string
@@ -40,6 +44,10 @@ val check :
       variables on the recorded multithreaded trace;
     - ["lockset-superset"]: lockset candidate pairs cover every
       happens-before race on the same trace;
+    - ["static-superset"]: the static race analyzer's candidate set
+      covers every FastTrack race of an un-mutated run, at the (field,
+      unordered method pair) granularity — a machine-checked soundness
+      bound for the analyzer;
     - ["synthesis-replay"]: the Narada pipeline runs on the sequential
       seed test, and every synthesized test instantiates and replays
       deterministically (two instantiations behave identically under

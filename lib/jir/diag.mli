@@ -1,4 +1,5 @@
-(** Diagnostics shared by the Jir front-end (lexer, parser, type checker). *)
+(** Diagnostics shared by the Jir front-end (lexer, parser, type
+    checker) and by tools reporting findings ([narada lint]). *)
 
 type error = { pos : Ast.pos; msg : string }
 
@@ -9,3 +10,32 @@ val error : ?pos:Ast.pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 val to_string : error -> string
 val pp : Format.formatter -> error -> unit
+
+(** {2 Severities and spans}
+
+    The vocabulary of non-fatal findings: a severity, and a source
+    range ([file:line:col] or [file:line:col-line:col]) within one
+    compilation unit. *)
+
+type severity = Sev_error | Sev_warning
+
+val severity_to_string : severity -> string
+val pp_severity : Format.formatter -> severity -> unit
+
+val compare_severity : severity -> severity -> int
+(** Errors sort before warnings. *)
+
+type span = { sp_file : string; sp_start : Ast.pos; sp_end : Ast.pos }
+(** [sp_file] is whatever name the tool knows the unit by (a path, a
+    corpus id); [""] suppresses the file prefix when printing. *)
+
+val span : ?file:string -> ?stop:Ast.pos -> Ast.pos -> span
+(** [span ~file ~stop start] builds a span; [stop] defaults to
+    [start]. *)
+
+val pp_span : Format.formatter -> span -> unit
+(** Prints [file:line:col] (or [file:line:col-line:col] for a proper
+    range); the [file:] prefix is omitted when [sp_file] is empty. *)
+
+val span_to_string : span -> string
+val compare_span : span -> span -> int

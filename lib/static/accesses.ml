@@ -1,0 +1,291 @@
+(* Collection of static field/array accesses together with the locks
+   that are *must*-held at each access, and the sync regions enclosing
+   it.
+
+   Lock discipline is tracked per body and context-insensitively: an
+   access in a callee is recorded with the callee's own locks only.
+   Under-approximating the held locks can only make the racy-pair
+   generator report more pairs, which is the sound direction.
+
+   Lock identities are syntactic paths that are stable between monitor
+   entry and the guarded access:
+
+   - [this] (never assignable);
+   - a local with exactly one definition, where that definition is a
+     parameter or an initialized declaration (so it dominates every
+     use and cannot run between a monitor entry and an access);
+   - a write-once static field (only assigned by its initializer).
+
+   Everything else is [Lunknown], which is collected as evidence that
+   *some* lock is held (for lint) but never matches another lock.
+
+   [<clinit>] bodies are skipped: class initializers run during VM
+   setup before any detector attaches, so their accesses can neither
+   appear in dynamic races nor be meaningfully linted. [<fieldinit>]
+   bodies run at every [new] and are included. *)
+
+open Jir
+module D = Dom
+
+type t = { accs : D.acc list; regions : D.region list }
+
+(* ---- stability of lock paths ---- *)
+
+(* Defs per (qname, var): params, initialized/uninitialized decls,
+   assignments, spawn bindings.  [stable] additionally requires the
+   unique def to be a param or an initialized declaration. *)
+let local_defs (meths : Pointsto.wmeth list) =
+  let defs : (string * string, int * bool) Hashtbl.t = Hashtbl.create 64 in
+  let note qn x ~stable =
+    let n =
+      match Hashtbl.find_opt defs (qn, x) with
+      | Some (n, _) -> n
+      | None -> 0
+    in
+    Hashtbl.replace defs (qn, x) (n + 1, if n = 0 then stable else false)
+  in
+  let rec stmt qn (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Sdecl (_, x, init) -> note qn x ~stable:(Option.is_some init)
+    | Sassign (Lvar x, _) -> note qn x ~stable:false
+    | Sassign ((Lfield _ | Lstatic _ | Lindex _), _)
+    | Sexpr _ | Sbreak | Scontinue | Sreturn _ | Sassert _ | Sthrow _
+    | Sjoin _ ->
+      ()
+    | Sif (_, a, b) ->
+      List.iter (stmt qn) a;
+      List.iter (stmt qn) b
+    | Swhile (_, b) -> List.iter (stmt qn) b
+    | Sfor (init, _, update, b) ->
+      Option.iter (stmt qn) init;
+      List.iter (stmt qn) b;
+      Option.iter (stmt qn) update
+    | Ssync (_, b) -> List.iter (stmt qn) b
+    | Sspawn (x, _, _, _) -> note qn x ~stable:false
+  in
+  List.iter
+    (fun (w : Pointsto.wmeth) ->
+      List.iter (fun (_, p) -> note w.wm_qname p ~stable:true) w.wm_params;
+      List.iter (stmt w.wm_qname) w.wm_body)
+    meths;
+  fun qn x ->
+    match Hashtbl.find_opt defs (qn, x) with
+    | Some (1, true) -> true
+    | _ -> false
+
+(* Static fields assigned anywhere outside a <clinit> body are not
+   usable as global lock identities. *)
+let mutable_statics (meths : Pointsto.wmeth list) =
+  let muts : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec stmt (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Sassign (Lstatic (c, f), _) -> Hashtbl.replace muts (c, f) ()
+    | Sdecl _
+    | Sassign ((Lvar _ | Lfield _ | Lindex _), _)
+    | Sexpr _ | Sbreak | Scontinue | Sreturn _ | Sassert _ | Sthrow _
+    | Sspawn _ | Sjoin _ ->
+      ()
+    | Sif (_, a, b) ->
+      List.iter stmt a;
+      List.iter stmt b
+    | Swhile (_, b) | Ssync (_, b) -> List.iter stmt b
+    | Sfor (init, _, update, b) ->
+      Option.iter stmt init;
+      List.iter stmt b;
+      Option.iter stmt update
+  in
+  List.iter
+    (fun (w : Pointsto.wmeth) ->
+      if w.wm_kind <> Pointsto.Wclinit then List.iter stmt w.wm_body)
+    meths;
+  fun c f -> not (Hashtbl.mem muts (c, f))
+
+(* ---- the walk ---- *)
+
+type ctx = {
+  pt : Pointsto.t;
+  single_def : string -> string -> bool;
+  write_once : string -> string -> bool;
+  mutable next_acc : int;
+  mutable next_region : int;
+  mutable out : D.acc list;  (* reversed *)
+  mutable regions_out : D.region list;  (* reversed *)
+}
+
+let lpath_of ctx ~qn (e : Ast.expr) : D.lpath =
+  match e.Ast.desc with
+  | Ethis -> D.Lthis
+  | Evar x when ctx.single_def qn x -> D.Llocal x
+  | Estatic_field (c, f) when ctx.write_once c f -> D.Lglobal (c, f)
+  | _ -> D.Lunknown
+
+(* Skip pure-array-base accesses to a named field: [arr.length] emits
+   no dynamic access event, so recording it would only add lint noise. *)
+let skip_array_length ctx field bases =
+  (not (String.equal field "[]"))
+  && (not (D.Sites.is_empty bases))
+  && D.Sites.for_all (fun s -> (Pointsto.site_info ctx.pt s).D.si_array) bases
+
+let emit ctx (w : Pointsto.wmeth) ~locks ~regions ~kind ~field ~base ~base_path
+    ~pos =
+  let skip =
+    match base with
+    | D.Binst bs -> skip_array_length ctx field bs
+    | D.Bstatic _ -> false
+  in
+  if not skip then begin
+    let id = ctx.next_acc in
+    ctx.next_acc <- id + 1;
+    ctx.out <-
+      {
+        D.sa_id = id;
+        sa_qname = w.wm_qname;
+        sa_cls = w.wm_cls;
+        sa_field = field;
+        sa_kind = kind;
+        sa_pos = pos;
+        sa_base = base;
+        sa_base_path = base_path;
+        sa_locks = List.rev locks;
+        sa_regions = List.rev regions;
+      }
+      :: ctx.out
+  end
+
+let collect (pt : Pointsto.t) : t =
+  let meths = Pointsto.meths pt in
+  let ctx =
+    {
+      pt;
+      single_def = local_defs meths;
+      write_once = mutable_statics meths;
+      next_acc = 0;
+      next_region = 0;
+      out = [];
+      regions_out = [];
+    }
+  in
+  let walk (w : Pointsto.wmeth) =
+    let qn = w.wm_qname in
+    let pts e = Pointsto.pts_of_expr pt e in
+    (* locks/regions are innermost-first here; [emit] reverses. *)
+    let rec expr ~locks ~regions (e : Ast.expr) =
+      match e.Ast.desc with
+      | Eint _ | Ebool _ | Estr _ | Enull | Ethis | Evar _ -> ()
+      | Efield (o, f) ->
+        expr ~locks ~regions o;
+        emit ctx w ~locks ~regions ~kind:D.Kread ~field:f
+          ~base:(D.Binst (pts o)) ~base_path:(lpath_of ctx ~qn o)
+          ~pos:e.Ast.pos
+      | Estatic_field (c, f) ->
+        emit ctx w ~locks ~regions ~kind:D.Kread ~field:f ~base:(D.Bstatic c)
+          ~base_path:D.Lunknown ~pos:e.Ast.pos
+      | Eindex (a, i) ->
+        expr ~locks ~regions a;
+        expr ~locks ~regions i;
+        emit ctx w ~locks ~regions ~kind:D.Kread ~field:"[]"
+          ~base:(D.Binst (pts a)) ~base_path:(lpath_of ctx ~qn a)
+          ~pos:e.Ast.pos
+      | Ecall (o, _, args) ->
+        expr ~locks ~regions o;
+        List.iter (expr ~locks ~regions) args
+      | Estatic_call (c, m, args) ->
+        List.iter (expr ~locks ~regions) args;
+        if String.equal c Program.sys_class && String.equal m "arraycopy" then (
+          match args with
+          | [ src; _; dst; _; _ ] ->
+            emit ctx w ~locks ~regions ~kind:D.Kread ~field:"[]"
+              ~base:(D.Binst (pts src)) ~base_path:(lpath_of ctx ~qn src)
+              ~pos:e.Ast.pos;
+            emit ctx w ~locks ~regions ~kind:D.Kwrite ~field:"[]"
+              ~base:(D.Binst (pts dst)) ~base_path:(lpath_of ctx ~qn dst)
+              ~pos:e.Ast.pos
+          | _ -> ())
+      | Enew (_, args) -> List.iter (expr ~locks ~regions) args
+      | Enew_array (_, n) -> expr ~locks ~regions n
+      | Ebinop (_, a, b) ->
+        expr ~locks ~regions a;
+        expr ~locks ~regions b
+      | Eunop (_, a) -> expr ~locks ~regions a
+    in
+    let rec stmt ~locks ~regions (s : Ast.stmt) =
+      match s.Ast.sdesc with
+      | Sdecl (_, _, init) -> Option.iter (expr ~locks ~regions) init
+      | Sassign (Lvar _, e) -> expr ~locks ~regions e
+      | Sassign (Lfield (o, f), e) ->
+        expr ~locks ~regions o;
+        expr ~locks ~regions e;
+        emit ctx w ~locks ~regions ~kind:D.Kwrite ~field:f
+          ~base:(D.Binst (pts o)) ~base_path:(lpath_of ctx ~qn o)
+          ~pos:s.Ast.spos
+      | Sassign (Lstatic (c, f), e) ->
+        expr ~locks ~regions e;
+        emit ctx w ~locks ~regions ~kind:D.Kwrite ~field:f ~base:(D.Bstatic c)
+          ~base_path:D.Lunknown ~pos:s.Ast.spos
+      | Sassign (Lindex (a, i), e) ->
+        expr ~locks ~regions a;
+        expr ~locks ~regions i;
+        expr ~locks ~regions e;
+        emit ctx w ~locks ~regions ~kind:D.Kwrite ~field:"[]"
+          ~base:(D.Binst (pts a)) ~base_path:(lpath_of ctx ~qn a)
+          ~pos:s.Ast.spos
+      | Sexpr e | Sassert e | Sjoin e -> expr ~locks ~regions e
+      | Sif (c, a, b) ->
+        expr ~locks ~regions c;
+        List.iter (stmt ~locks ~regions) a;
+        List.iter (stmt ~locks ~regions) b
+      | Swhile (c, b) ->
+        expr ~locks ~regions c;
+        List.iter (stmt ~locks ~regions) b
+      | Sfor (init, cond, update, b) ->
+        Option.iter (stmt ~locks ~regions) init;
+        Option.iter (expr ~locks ~regions) cond;
+        List.iter (stmt ~locks ~regions) b;
+        Option.iter (stmt ~locks ~regions) update
+      | Sbreak | Scontinue | Sreturn None | Sthrow _ -> ()
+      | Sreturn (Some e) -> expr ~locks ~regions e
+      | Ssync (e, b) ->
+        expr ~locks ~regions e;
+        let rid = ctx.next_region in
+        ctx.next_region <- rid + 1;
+        ctx.regions_out <-
+          {
+            D.rg_id = rid;
+            rg_qname = qn;
+            rg_cls = w.wm_cls;
+            rg_pos = s.Ast.spos;
+            rg_kind = D.Rsync_block;
+          }
+          :: ctx.regions_out;
+        let locks = lpath_of ctx ~qn e :: locks in
+        List.iter (stmt ~locks ~regions:(rid :: regions)) b
+      | Sspawn (_, recv, _, args) ->
+        expr ~locks ~regions recv;
+        List.iter (expr ~locks ~regions) args
+    in
+    let locks, regions =
+      if w.wm_sync then begin
+        let rid = ctx.next_region in
+        ctx.next_region <- rid + 1;
+        ctx.regions_out <-
+          {
+            D.rg_id = rid;
+            rg_qname = qn;
+            rg_cls = w.wm_cls;
+            rg_pos = w.wm_pos;
+            rg_kind = D.Rsync_method;
+          }
+          :: ctx.regions_out;
+        (* A static sync method would lock the class object; the
+           compiler rejects those, but stay conservative. *)
+        ((if w.wm_static then [ D.Lunknown ] else [ D.Lthis ]), [ rid ])
+      end
+      else ([], [])
+    in
+    List.iter (stmt ~locks ~regions) w.wm_body
+  in
+  List.iter
+    (fun (w : Pointsto.wmeth) ->
+      if w.wm_kind <> Pointsto.Wclinit then walk w)
+    meths;
+  { accs = List.rev ctx.out; regions = List.rev ctx.regions_out }

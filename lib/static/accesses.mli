@@ -1,0 +1,14 @@
+(** Collection of static field/array accesses with the locks
+    *must*-held at each access and the sync regions enclosing it.
+
+    Lock tracking is per-body and context-insensitive (an access in a
+    callee is recorded with the callee's own locks only) —
+    under-approximating held locks can only add racy pairs, which is
+    the sound direction.  [<clinit>] bodies are skipped: they run
+    before any detector attaches. *)
+
+type t = { accs : Dom.acc list; regions : Dom.region list }
+
+val collect : Pointsto.t -> t
+(** Walks [Pointsto.meths] in order; access and region ids are dense
+    and deterministic. *)

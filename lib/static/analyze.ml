@@ -1,0 +1,43 @@
+(* Driver for the static tier: solve points-to, compute escape
+   information, collect accesses, generate candidates, and answer the
+   membership queries used by the dynamic-pipeline filter and by the
+   Crucible static⊇dynamic oracle. *)
+
+module D = Dom
+
+(* Planted unsoundness, used to validate the Crucible oracle: silently
+   drop all accesses inside sync regions before pairing. *)
+type mutation = Drop_sync
+
+let mutation_to_string = function Drop_sync -> "static-drop-sync"
+
+type t = {
+  pt : Pointsto.t;
+  esc : Escape.t;
+  accs : D.acc list;
+  regions : D.region list;
+  cands : D.cand list;
+  keys : (string * string * string, unit) Hashtbl.t;
+}
+
+let run ?mutate ?(open_world = false) (prog : Jir.Program.t) : t =
+  let pt = Pointsto.solve ~open_world prog in
+  let esc = Escape.compute ~open_world pt in
+  let { Accesses.accs; regions } = Accesses.collect pt in
+  let drop_sync = match mutate with Some Drop_sync -> true | None -> false in
+  let cands =
+    Racepairs.generate ~drop_sync ~exclude_init:open_world esc accs
+  in
+  let keys = Hashtbl.create 32 in
+  List.iter (fun c -> Hashtbl.replace keys (D.key_of c) ()) cands;
+  { pt; esc; accs; regions; cands; keys }
+
+let candidates t = t.cands
+let accesses t = t.accs
+let regions t = t.regions
+let escape t = t.esc
+let pointsto t = t.pt
+
+(* Is (field, {m1, m2}) covered by some static candidate?  [m1]/[m2]
+   are method qnames as the VM names race sites. *)
+let covers t ~field ~m1 ~m2 = Hashtbl.mem t.keys (D.cand_key ~field ~m1 ~m2)

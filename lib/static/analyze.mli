@@ -1,0 +1,30 @@
+(** Driver for the static tier: points-to + escape + accesses +
+    racy-pair candidates, plus the membership query used by the
+    dynamic-pipeline filter and the Crucible static⊇dynamic oracle. *)
+
+(** Planted unsoundness for validating the Crucible oracle: drop all
+    accesses inside sync regions before pairing. *)
+type mutation = Drop_sync
+
+val mutation_to_string : mutation -> string
+
+type t
+
+val run : ?mutate:mutation -> ?open_world:bool -> Jir.Program.t -> t
+(** Deterministic; safe to call from parallel domains (no shared
+    state).  [~open_world:true] analyzes the unit as a library driven
+    by an unknown multithreaded client (see {!Escape.compute}) — the
+    mode used by [narada lint] and the pipeline's static filter, where
+    the seed test is sequential and threads come from synthesized
+    tests. *)
+
+val candidates : t -> Dom.cand list
+val accesses : t -> Dom.acc list
+val regions : t -> Dom.region list
+val escape : t -> Escape.t
+val pointsto : t -> Pointsto.t
+
+val covers : t -> field:string -> m1:string -> m2:string -> bool
+(** Is the dynamic race identity (field, unordered {m1, m2}) — where
+    [m1]/[m2] are method qnames as the VM names sites — covered by
+    some static candidate? *)

@@ -1,0 +1,205 @@
+(* Escape / thread-sharedness analysis seeded from [spawn] sites.
+
+   Two over-approximations, both consumed by the racy-pair generator:
+
+   - [spawn_reachable]: the set of method qnames that may execute on a
+     *non-main* thread — the name-based call-graph closure from every
+     spawn target in the program.  Every dynamic race has at least one
+     endpoint on a spawned thread, so requiring one spawn-reachable
+     endpoint per candidate is a sound may-happen-in-parallel rule.
+
+   - [shared]: allocation sites that may be reachable by more than one
+     thread — everything a spawn receiver or spawn argument may point
+     to, plus every static-field value, closed under field (and array
+     element) reachability. *)
+
+open Jir
+module D = Dom
+
+type t = {
+  spawn_reachable : (string, unit) Hashtbl.t;  (* qnames *)
+  all_parallel : bool;  (* open world: every method may run concurrently *)
+  shared : D.Sites.t;
+}
+
+let is_spawn_reachable t qn = t.all_parallel || Hashtbl.mem t.spawn_reachable qn
+
+let shared t = t.shared
+
+(* Out-edges of a method body under name-based dispatch: callees of
+   every call expression, plus constructors and field initializers of
+   every [new].  Spawn targets are *not* edges — they run on a fresh
+   thread and are roots of the closure themselves. *)
+let edges (pt : Pointsto.t) (w : Pointsto.wmeth) : string list =
+  let out = ref [] in
+  let target ws = List.iter (fun (x : Pointsto.wmeth) -> out := x.wm_qname :: !out) ws in
+  let rec expr (e : Ast.expr) =
+    match e.Ast.desc with
+    | Eint _ | Ebool _ | Estr _ | Enull | Ethis | Evar _ | Estatic_field _ -> ()
+    | Efield (o, _) | Eunop (_, o) | Enew_array (_, o) -> expr o
+    | Eindex (a, b) | Ebinop (_, a, b) ->
+      expr a;
+      expr b
+    | Ecall (o, m, args) ->
+      expr o;
+      List.iter expr args;
+      target (Pointsto.instance_targets pt m)
+    | Estatic_call (c, m, args) ->
+      List.iter expr args;
+      if not (String.equal c Program.sys_class) then
+        target (Pointsto.static_targets pt m)
+    | Enew (cls, args) ->
+      List.iter expr args;
+      target (Pointsto.ctor_targets pt cls ~arity:(List.length args));
+      target (Pointsto.fieldinit_targets pt cls)
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Sdecl (_, _, init) -> Option.iter expr init
+    | Sassign (lv, e) ->
+      (match lv with
+      | Lvar _ | Lstatic _ -> ()
+      | Lfield (o, _) -> expr o
+      | Lindex (a, i) ->
+        expr a;
+        expr i);
+      expr e
+    | Sexpr e | Sassert e | Sjoin e -> expr e
+    | Sif (c, a, b) ->
+      expr c;
+      List.iter stmt a;
+      List.iter stmt b
+    | Swhile (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Sfor (init, cond, update, b) ->
+      Option.iter stmt init;
+      Option.iter expr cond;
+      List.iter stmt b;
+      Option.iter stmt update
+    | Sbreak | Scontinue | Sreturn None | Sthrow _ -> ()
+    | Sreturn (Some e) -> expr e
+    | Ssync (e, b) ->
+      expr e;
+      List.iter stmt b
+    | Sspawn (_, recv, _, args) ->
+      expr recv;
+      List.iter expr args
+  in
+  List.iter stmt w.wm_body;
+  !out
+
+(* Spawn roots and shared seeds: walk every body once collecting spawn
+   targets and the points-to of spawn receivers/arguments (memoized
+   results from the solver's final pass). *)
+let spawn_seeds (pt : Pointsto.t) : string list * D.Sites.t =
+  let roots = ref [] in
+  let seeds = ref D.Sites.empty in
+  let rec expr (e : Ast.expr) =
+    match e.Ast.desc with
+    | Eint _ | Ebool _ | Estr _ | Enull | Ethis | Evar _ | Estatic_field _ -> ()
+    | Efield (o, _) | Eunop (_, o) | Enew_array (_, o) -> expr o
+    | Eindex (a, b) | Ebinop (_, a, b) ->
+      expr a;
+      expr b
+    | Ecall (o, _, args) ->
+      expr o;
+      List.iter expr args
+    | Estatic_call (_, _, args) | Enew (_, args) -> List.iter expr args
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Sdecl (_, _, init) -> Option.iter expr init
+    | Sassign (lv, e) ->
+      (match lv with
+      | Lvar _ | Lstatic _ -> ()
+      | Lfield (o, _) -> expr o
+      | Lindex (a, i) ->
+        expr a;
+        expr i);
+      expr e
+    | Sexpr e | Sassert e | Sjoin e -> expr e
+    | Sif (c, a, b) ->
+      expr c;
+      List.iter stmt a;
+      List.iter stmt b
+    | Swhile (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Sfor (init, cond, update, b) ->
+      Option.iter stmt init;
+      Option.iter expr cond;
+      List.iter stmt b;
+      Option.iter stmt update
+    | Sbreak | Scontinue | Sreturn None | Sthrow _ -> ()
+    | Sreturn (Some e) -> expr e
+    | Ssync (e, b) ->
+      expr e;
+      List.iter stmt b
+    | Sspawn (_, recv, m, args) ->
+      expr recv;
+      List.iter expr args;
+      List.iter
+        (fun (w : Pointsto.wmeth) -> roots := w.wm_qname :: !roots)
+        (Pointsto.instance_targets pt m);
+      seeds := D.Sites.union !seeds (Pointsto.pts_of_expr pt recv);
+      List.iter
+        (fun a -> seeds := D.Sites.union !seeds (Pointsto.pts_of_expr pt a))
+        args
+  in
+  List.iter
+    (fun (w : Pointsto.wmeth) -> List.iter stmt w.wm_body)
+    (Pointsto.meths pt);
+  (!roots, !seeds)
+
+let compute ?(open_world = false) (pt : Pointsto.t) : t =
+  if open_world then
+    (* Library mode: the unit is a set of classes whose methods an
+       unknown multithreaded client may invoke concurrently on shared
+       objects.  Every method may run in parallel and every allocation
+       may be shared; candidate suppression then rests solely on lock
+       discipline, which stays sound. *)
+    {
+      spawn_reachable = Hashtbl.create 1;
+      all_parallel = true;
+      shared = Pointsto.all_sites pt;
+    }
+  else
+  let roots, seeds = spawn_seeds pt in
+  (* Call-graph closure from spawn targets. *)
+  let edge_map : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (w : Pointsto.wmeth) ->
+      let prev =
+        match Hashtbl.find_opt edge_map w.wm_qname with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace edge_map w.wm_qname (prev @ edges pt w))
+    (Pointsto.meths pt);
+  let spawn_reachable = Hashtbl.create 32 in
+  let rec reach qn =
+    if not (Hashtbl.mem spawn_reachable qn) then begin
+      Hashtbl.add spawn_reachable qn ();
+      match Hashtbl.find_opt edge_map qn with
+      | Some succs -> List.iter reach succs
+      | None -> ()
+    end
+  in
+  List.iter reach roots;
+  let all_parallel = false in
+  (* Shared sites: seeds ∪ static-field values, closed under field
+     reachability. *)
+  let shared = ref D.Sites.empty in
+  let work = ref (D.Sites.union seeds (Pointsto.static_values pt)) in
+  while not (D.Sites.is_empty !work) do
+    let s = D.Sites.min_elt !work in
+    work := D.Sites.remove s !work;
+    if not (D.Sites.mem s !shared) then begin
+      shared := D.Sites.add s !shared;
+      List.iter
+        (fun (_, v) -> work := D.Sites.union !work (D.Sites.diff v !shared))
+        (Pointsto.fields_of_site pt s)
+    end
+  done;
+  { spawn_reachable; all_parallel; shared = !shared }

@@ -1,0 +1,24 @@
+(** Escape / thread-sharedness analysis seeded from [spawn] sites. *)
+
+type t
+
+val compute : ?open_world:bool -> Pointsto.t -> t
+(** Default (closed world): sharedness and parallelism are derived
+    from the program's own [spawn] sites — exact for whole programs
+    such as Crucible's, and what the static⊇dynamic oracle validates.
+    [~open_world:true] treats the unit as a library an unknown
+    multithreaded client may drive: every method may run concurrently
+    and every allocation may be shared, leaving lock discipline as the
+    only suppression. *)
+
+val is_spawn_reachable : t -> string -> bool
+(** May the method qname execute on a non-main thread?  The name-based
+    call-graph closure from every spawn target.  Every dynamic race
+    has at least one endpoint on a spawned thread, so requiring one
+    spawn-reachable endpoint per candidate is a sound
+    may-happen-in-parallel rule. *)
+
+val shared : t -> Dom.Sites.t
+(** Allocation sites that may be reachable by more than one thread:
+    the points-to of spawn receivers/arguments plus all static-field
+    values, closed under field reachability. *)

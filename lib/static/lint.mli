@@ -1,0 +1,19 @@
+(** Lock-discipline lint: static race candidates, unguarded writes to
+    fields guarded elsewhere, dead sync regions, and a monitor-balance
+    dataflow over compiled bytecode.  Output is sorted and
+    deterministic (independent of [--jobs]). *)
+
+type finding = {
+  f_sev : Jir.Diag.severity;
+  f_span : Jir.Diag.span;
+  f_msg : string;
+}
+
+val compare_finding : finding -> finding -> int
+
+val to_string : finding -> string
+(** ["span: severity: message"]. *)
+
+val run : ?file:string -> Analyze.t -> Jir.Code.unit_ -> finding list
+(** All findings for one compilation unit, sorted by (span, severity,
+    message).  [?file] prefixes every span. *)

@@ -1,0 +1,409 @@
+(* Flow-insensitive, field-sensitive Andersen-style points-to analysis
+   over Jir ASTs with allocation-site abstraction.
+
+   The solver iterates whole-program walks to a fixpoint: every walk
+   evaluates each expression once, in a fixed left-to-right order, and
+   unions abstract values into monotone tables (locals, [this], return
+   values, instance fields, array elements as pseudo-field "[]", static
+   fields).  Allocation sites are numbered by (enclosing qname,
+   occurrence index within the walk), which makes site identity
+   deterministic across passes and across runs.
+
+   Call dispatch is name-based (CHA-style): a call [o.m(...)] may reach
+   the concrete method named [m] declared by *any* class.  That is a
+   sound over-approximation of virtual dispatch, and keeps the defining
+   class of each target aligned with the qualified names the VM uses
+   for race sites.
+
+   Synthetic bodies mirror the compiler: per-class [<fieldinit>] (run
+   by every constructor) and [<clinit>] (static initializers, run at
+   class load).  They are built once and kept in [t.meths] so later
+   walks (escape, access collection) can reuse the memoized points-to
+   results keyed by physical expression identity. *)
+
+open Jir
+module D = Dom
+
+type wkind = Wnormal | Wctor | Wfieldinit | Wclinit
+
+type wmeth = {
+  wm_name : string;  (** simple name ([<init>] for constructors) *)
+  wm_qname : string;  (** [Cls.name], matching the VM's site naming *)
+  wm_cls : string;
+  wm_kind : wkind;
+  wm_sync : bool;
+  wm_static : bool;
+  wm_params : (Ast.ty * Ast.id) list;
+  wm_body : Ast.block;
+  wm_pos : Ast.pos;
+}
+
+module ExprTbl = Hashtbl.Make (struct
+  type t = Ast.expr
+
+  (* Physical identity: the program AST is built once and every walk
+     traverses the same nodes, so [==] identifies occurrences. *)
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  prog : Program.t;
+  open_world : bool;
+  meths : wmeth list;
+  site_ids : (string * int, D.site) Hashtbl.t;  (* (qname, occurrence) *)
+  infos : (D.site, D.site_info) Hashtbl.t;
+  mutable nsites : int;
+  vlocal : (string * string, D.Sites.t) Hashtbl.t;  (* (qname, var) *)
+  vthis : (string, D.Sites.t) Hashtbl.t;  (* qname *)
+  vret : (string, D.Sites.t) Hashtbl.t;  (* qname *)
+  vfield : (D.site * string, D.Sites.t) Hashtbl.t;  (* "[]" = array elem *)
+  vstatic : (string * string, D.Sites.t) Hashtbl.t;  (* (cls, field) *)
+  memo : D.Sites.t ExprTbl.t;  (* filled on the final, post-fixpoint pass *)
+  occ : (string, int) Hashtbl.t;  (* per-qname counters, reset per pass *)
+  mutable changed : bool;
+  mutable memoizing : bool;
+}
+
+let prog t = t.prog
+let meths t = t.meths
+let qname cls m = cls ^ "." ^ m
+
+(* ---- universe of walkable method bodies ---- *)
+
+let synth_inits (c : Ast.class_decl) ~static =
+  List.filter_map
+    (fun (f : Ast.field_decl) ->
+      match f.f_init with
+      | Some e when Bool.equal f.f_static static ->
+        let lv =
+          if static then Ast.Lstatic (c.c_name, f.f_name)
+          else Ast.Lfield (Ast.mk_expr ~pos:f.f_pos Ast.Ethis, f.f_name)
+        in
+        Some (Ast.mk_stmt ~pos:f.f_pos (Ast.Sassign (lv, e)))
+      | _ -> None)
+    c.c_fields
+
+let build_meths prog : wmeth list =
+  List.concat_map
+    (fun (c : Ast.class_decl) ->
+      if c.c_kind = Ast.Kinterface then []
+      else
+        let normal =
+          List.filter_map
+            (fun (m : Ast.method_decl) ->
+              if m.m_abstract then None
+              else
+                Some
+                  {
+                    wm_name = m.m_name;
+                    wm_qname = qname c.c_name m.m_name;
+                    wm_cls = c.c_name;
+                    wm_kind = (if Ast.is_ctor m then Wctor else Wnormal);
+                    wm_sync = m.m_sync;
+                    wm_static = m.m_static;
+                    wm_params = m.m_params;
+                    wm_body = m.m_body;
+                    wm_pos = m.m_pos;
+                  })
+            c.c_methods
+        in
+        let synth name kind static =
+          match synth_inits c ~static with
+          | [] -> []
+          | body ->
+            [
+              {
+                wm_name = name;
+                wm_qname = qname c.c_name name;
+                wm_cls = c.c_name;
+                wm_kind = kind;
+                wm_sync = false;
+                wm_static = static;
+                wm_params = [];
+                wm_body = body;
+                wm_pos = c.c_pos;
+              };
+            ]
+        in
+        normal
+        @ synth Code.fieldinit_name Wfieldinit false
+        @ synth "<clinit>" Wclinit true)
+    (Program.classes prog)
+
+(* ---- name-based dispatch ---- *)
+
+let instance_targets t name =
+  List.filter
+    (fun w ->
+      w.wm_kind = Wnormal && (not w.wm_static) && String.equal w.wm_name name)
+    t.meths
+
+let static_targets t name =
+  List.filter
+    (fun w -> w.wm_kind = Wnormal && w.wm_static && String.equal w.wm_name name)
+    t.meths
+
+let ctor_targets t cls ~arity =
+  List.filter
+    (fun w ->
+      w.wm_kind = Wctor
+      && String.equal w.wm_cls cls
+      && List.length w.wm_params = arity)
+    t.meths
+
+(* A [new C] runs C's own <fieldinit> and every inherited one. *)
+let fieldinit_targets t cls =
+  let chain =
+    List.map (fun (c : Ast.class_decl) -> c.c_name) (Program.ancestors t.prog cls)
+  in
+  List.filter
+    (fun w -> w.wm_kind = Wfieldinit && List.mem w.wm_cls chain)
+    t.meths
+
+(* ---- monotone tables ---- *)
+
+let get tbl k =
+  match Hashtbl.find_opt tbl k with Some s -> s | None -> D.Sites.empty
+
+let add t tbl k v =
+  if not (D.Sites.is_empty v) then begin
+    let cur = get tbl k in
+    if not (D.Sites.subset v cur) then begin
+      Hashtbl.replace tbl k (D.Sites.union cur v);
+      t.changed <- true
+    end
+  end
+
+let site t ~qn ~cls ~array ~pos =
+  let n = match Hashtbl.find_opt t.occ qn with Some n -> n | None -> 0 in
+  Hashtbl.replace t.occ qn (n + 1);
+  match Hashtbl.find_opt t.site_ids (qn, n) with
+  | Some s -> s
+  | None ->
+    let s = t.nsites in
+    t.nsites <- s + 1;
+    Hashtbl.replace t.site_ids (qn, n) s;
+    Hashtbl.replace t.infos s
+      { D.si_cls = cls; si_meth = qn; si_pos = pos; si_array = array };
+    s
+
+let site_info t s = Hashtbl.find t.infos s
+
+(* ---- evaluation (one fixed-order visit per occurrence per pass) ---- *)
+
+let rec eval t ~qn (e : Ast.expr) : D.Sites.t =
+  let value =
+    match e.Ast.desc with
+    | Eint _ | Ebool _ | Estr _ | Enull -> D.Sites.empty
+    | Ethis -> get t.vthis qn
+    | Evar x -> get t.vlocal (qn, x)
+    | Efield (o, f) ->
+      let bs = eval t ~qn o in
+      D.Sites.fold
+        (fun s acc -> D.Sites.union acc (get t.vfield (s, f)))
+        bs D.Sites.empty
+    | Estatic_field (c, f) -> get t.vstatic (c, f)
+    | Eindex (a, i) ->
+      let bs = eval t ~qn a in
+      ignore (eval t ~qn i);
+      D.Sites.fold
+        (fun s acc -> D.Sites.union acc (get t.vfield (s, "[]")))
+        bs D.Sites.empty
+    | Ecall (o, m, args) ->
+      let recv = eval t ~qn o in
+      let argv = List.map (eval t ~qn) args in
+      dispatch t ~recv:(Some recv) ~argv (instance_targets t m)
+    | Estatic_call (c, m, args) when String.equal c Program.sys_class ->
+      let argv = List.map (eval t ~qn) args in
+      (* Sys.arraycopy copies references elementwise. *)
+      (if String.equal m "arraycopy" then
+         match argv with
+         | [ src; _; dst; _; _ ] ->
+           let elems =
+             D.Sites.fold
+               (fun s acc -> D.Sites.union acc (get t.vfield (s, "[]")))
+               src D.Sites.empty
+           in
+           D.Sites.iter (fun d -> add t t.vfield (d, "[]") elems) dst
+         | _ -> ());
+      D.Sites.empty (* no intrinsic returns an object reference *)
+    | Estatic_call (_, m, args) ->
+      let argv = List.map (eval t ~qn) args in
+      dispatch t ~recv:None ~argv (static_targets t m)
+    | Enew (cls, args) ->
+      let s = site t ~qn ~cls ~array:false ~pos:e.Ast.pos in
+      let this = D.Sites.singleton s in
+      let argv = List.map (eval t ~qn) args in
+      List.iter
+        (fun w -> add t t.vthis w.wm_qname this)
+        (fieldinit_targets t cls);
+      ignore (dispatch t ~recv:(Some this) ~argv (ctor_targets t cls ~arity:(List.length args)));
+      this
+    | Enew_array (ty, n) ->
+      ignore (eval t ~qn n);
+      let s =
+        site t ~qn ~cls:(Ast.ty_to_string ty ^ "[]") ~array:true ~pos:e.Ast.pos
+      in
+      D.Sites.singleton s
+    | Ebinop (_, a, b) ->
+      ignore (eval t ~qn a);
+      ignore (eval t ~qn b);
+      D.Sites.empty
+    | Eunop (_, a) ->
+      ignore (eval t ~qn a);
+      D.Sites.empty
+  in
+  if t.memoizing then ExprTbl.replace t.memo e value;
+  value
+
+and dispatch t ~recv ~argv targets =
+  List.fold_left
+    (fun acc w ->
+      (match recv with
+      | Some r when not w.wm_static -> add t t.vthis w.wm_qname r
+      | _ -> ());
+      (* Name-based targets with a different arity can never be the
+         runtime target of this (typechecked) call: skip them. *)
+      if List.length w.wm_params = List.length argv then
+        List.iter2
+          (fun (_, p) v -> add t t.vlocal (w.wm_qname, p) v)
+          w.wm_params argv;
+      D.Sites.union acc (get t.vret w.wm_qname))
+    D.Sites.empty targets
+
+let rec stmt t ~qn (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Sdecl (_, x, init) ->
+    Option.iter (fun e -> add t t.vlocal (qn, x) (eval t ~qn e)) init
+  | Sassign (Lvar x, e) -> add t t.vlocal (qn, x) (eval t ~qn e)
+  | Sassign (Lfield (o, f), e) ->
+    let bs = eval t ~qn o in
+    let v = eval t ~qn e in
+    D.Sites.iter (fun s -> add t t.vfield (s, f) v) bs
+  | Sassign (Lstatic (c, f), e) -> add t t.vstatic (c, f) (eval t ~qn e)
+  | Sassign (Lindex (a, i), e) ->
+    let bs = eval t ~qn a in
+    ignore (eval t ~qn i);
+    let v = eval t ~qn e in
+    D.Sites.iter (fun s -> add t t.vfield (s, "[]") v) bs
+  | Sexpr e -> ignore (eval t ~qn e)
+  | Sif (c, th, el) ->
+    ignore (eval t ~qn c);
+    block t ~qn th;
+    block t ~qn el
+  | Swhile (c, b) ->
+    ignore (eval t ~qn c);
+    block t ~qn b
+  | Sfor (init, cond, update, b) ->
+    Option.iter (stmt t ~qn) init;
+    Option.iter (fun e -> ignore (eval t ~qn e)) cond;
+    block t ~qn b;
+    Option.iter (stmt t ~qn) update
+  | Sbreak | Scontinue | Sreturn None | Sthrow _ -> ()
+  | Sreturn (Some e) -> add t t.vret qn (eval t ~qn e)
+  | Ssync (e, b) ->
+    ignore (eval t ~qn e);
+    block t ~qn b
+  | Sassert e -> ignore (eval t ~qn e)
+  | Sspawn (_, recv, m, args) ->
+    let r = eval t ~qn recv in
+    let argv = List.map (eval t ~qn) args in
+    ignore (dispatch t ~recv:(Some r) ~argv (instance_targets t m))
+  | Sjoin e -> ignore (eval t ~qn e)
+
+and block t ~qn b = List.iter (stmt t ~qn) b
+
+(* ---- open-world boundary ---- *)
+
+(* Is an allocation site a possible runtime value of a declared type? *)
+let site_compatible t (ty : Ast.ty) (info : D.site_info) =
+  match ty with
+  | Ast.Tclass _ ->
+    (not info.D.si_array)
+    && Program.is_subtype t.prog (Ast.Tclass info.D.si_cls) ty
+  | Ast.Tarray e ->
+    info.D.si_array && String.equal info.D.si_cls (Ast.ty_to_string e ^ "[]")
+  | _ -> false
+
+let compatible_sites t ty =
+  Hashtbl.fold
+    (fun s info acc ->
+      if site_compatible t ty info then D.Sites.add s acc else acc)
+    t.infos D.Sites.empty
+
+(* In open-world (library) mode, any caller outside the analyzed unit
+   may invoke any method with any type-compatible receiver and
+   arguments — exactly what the synthesized tests do.  Seed [this] and
+   every reference-typed parameter with all compatible allocation
+   sites, so may-alias questions are answered for arbitrary calling
+   contexts, not just the ones the seed method happens to exercise.
+   (This assumes each class is allocated somewhere in the unit; the
+   corpus seed methods guarantee it.) *)
+let seed_open_world t =
+  List.iter
+    (fun w ->
+      if not w.wm_static then
+        add t t.vthis w.wm_qname (compatible_sites t (Ast.Tclass w.wm_cls));
+      List.iter
+        (fun (ty, p) ->
+          add t t.vlocal (w.wm_qname, p) (compatible_sites t ty))
+        w.wm_params)
+    t.meths
+
+let pass t =
+  Hashtbl.reset t.occ;
+  if t.open_world then seed_open_world t;
+  List.iter (fun w -> block t ~qn:w.wm_qname w.wm_body) t.meths
+
+let solve ?(open_world = false) prog : t =
+  let t =
+    {
+      prog;
+      open_world;
+      meths = build_meths prog;
+      site_ids = Hashtbl.create 64;
+      infos = Hashtbl.create 64;
+      nsites = 0;
+      vlocal = Hashtbl.create 64;
+      vthis = Hashtbl.create 16;
+      vret = Hashtbl.create 16;
+      vfield = Hashtbl.create 64;
+      vstatic = Hashtbl.create 16;
+      memo = ExprTbl.create 256;
+      occ = Hashtbl.create 16;
+      changed = true;
+      memoizing = false;
+    }
+  in
+  while t.changed do
+    t.changed <- false;
+    pass t
+  done;
+  (* One extra pass at the fixpoint to record per-occurrence results. *)
+  t.memoizing <- true;
+  pass t;
+  t
+
+(* ---- post-fixpoint queries ---- *)
+
+(* Points-to of a specific expression occurrence, recorded during the
+   final pass.  Total over the ASTs held in [meths t]. *)
+let pts_of_expr t e =
+  match ExprTbl.find_opt t.memo e with Some s -> s | None -> D.Sites.empty
+
+let field_pts t s f = get t.vfield (s, f)
+
+let fields_of_site t s =
+  Hashtbl.fold
+    (fun (s', f) v acc -> if s' = s then (f, v) :: acc else acc)
+    t.vfield []
+
+let static_values t =
+  Hashtbl.fold (fun _ v acc -> D.Sites.union acc v) t.vstatic D.Sites.empty
+
+let all_sites t =
+  let rec go acc i =
+    if i < 0 then acc else go (D.Sites.add i acc) (i - 1)
+  in
+  go D.Sites.empty (t.nsites - 1)

@@ -1,0 +1,71 @@
+(** Flow-insensitive, field-sensitive Andersen-style points-to analysis
+    over Jir ASTs with allocation-site abstraction.
+
+    The solver iterates whole-program walks to a fixpoint over monotone
+    tables; allocation sites are numbered by (enclosing method,
+    occurrence index), which is deterministic across passes and runs.
+    Call dispatch is name-based (CHA-style): sound for virtual
+    dispatch, and the defining class of each target matches the
+    qualified names the VM uses for race sites. *)
+
+type wkind = Wnormal | Wctor | Wfieldinit | Wclinit
+
+(** One walkable method body: a declared concrete method, or a
+    synthetic [<fieldinit>]/[<clinit>] mirroring the compiler. *)
+type wmeth = {
+  wm_name : string;  (** simple name ([<init>] for constructors) *)
+  wm_qname : string;  (** [Cls.name], matching the VM's site naming *)
+  wm_cls : string;
+  wm_kind : wkind;
+  wm_sync : bool;
+  wm_static : bool;
+  wm_params : (Jir.Ast.ty * Jir.Ast.id) list;
+  wm_body : Jir.Ast.block;
+  wm_pos : Jir.Ast.pos;
+}
+
+type t
+
+val solve : ?open_world:bool -> Jir.Program.t -> t
+(** Run the fixpoint.  Deterministic: same program, same tables.
+
+    [~open_world:true] models a library boundary: every method's
+    [this] and every reference-typed parameter is additionally seeded
+    with all type-compatible allocation sites of the unit, so aliasing
+    reflects arbitrary calling contexts (such as synthesized tests)
+    rather than only the seed method's calls. *)
+
+val prog : t -> Jir.Program.t
+
+val meths : t -> wmeth list
+(** The deterministic universe of walkable bodies, in declaration
+    order, with synthetic initializers appended per class.  Later
+    walks (escape, access collection) must traverse these exact ASTs
+    so that {!pts_of_expr} applies. *)
+
+val instance_targets : t -> string -> wmeth list
+(** Name-based dispatch: every concrete instance method named [m]. *)
+
+val static_targets : t -> string -> wmeth list
+val ctor_targets : t -> string -> arity:int -> wmeth list
+
+val fieldinit_targets : t -> string -> wmeth list
+(** The [<fieldinit>] bodies run by [new cls]: the class's own and
+    every inherited one. *)
+
+val site_info : t -> Dom.site -> Dom.site_info
+
+val pts_of_expr : t -> Jir.Ast.expr -> Dom.Sites.t
+(** Points-to of a specific expression occurrence (physical identity),
+    recorded during the solver's final pass over [meths t]. *)
+
+val field_pts : t -> Dom.site -> string -> Dom.Sites.t
+(** May-point-to of field [f] of site [s]; ["[]"] for array elements. *)
+
+val fields_of_site : t -> Dom.site -> (string * Dom.Sites.t) list
+
+val static_values : t -> Dom.Sites.t
+(** Union of the may-point-to sets of all static fields. *)
+
+val all_sites : t -> Dom.Sites.t
+(** Every allocation site of the program. *)

@@ -1,0 +1,22 @@
+(** Static racy-pair generation: conflicting accesses to a may-aliased
+    field where at least one side is spawn-reachable and the two sides
+    hold no common lock.  A write may also race with itself (two
+    threads executing the same statement). *)
+
+val generate :
+  ?drop_sync:bool ->
+  ?exclude_init:bool ->
+  Escape.t ->
+  Dom.acc list ->
+  Dom.cand list
+(** Candidates in deterministic discovery order, deduplicated by
+    {!Dom.key_of}.  [~drop_sync:true] is the planted unsoundness used
+    to validate the Crucible static⊇dynamic oracle: accesses inside
+    sync regions are discarded before pairing.  [~exclude_init:true]
+    discards constructor/field-initializer accesses, mirroring the
+    dynamic pair generator (used by the open-world mode). *)
+
+val common_lock : Dom.acc -> Dom.acc -> bool
+(** Do the two accesses certainly hold a common lock on any execution
+    where their bases alias?  Recognizes both-self-locked and a shared
+    write-once global. *)

@@ -5,13 +5,14 @@ only on the seed, never on the job count or on wall-clock state.
   $ narada fuzz --smoke --seed 42 --jobs 4 > jobs4.out
   $ cmp jobs1.out jobs4.out
   $ cat jobs1.out
-  crucible: 30 programs, seed 42, 6 oracles
+  crucible: 30 programs, seed 42, 7 oracles
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
     vm-determinism         30      0
     detectors-agree        30      0
     lockset-superset       30      0
+    static-superset        30      0
     synthesis-replay       30      0
   no oracle violations
 
@@ -23,13 +24,14 @@ campaign is deterministic too, and exits non-zero.
   $ narada fuzz --smoke --seed 42 --jobs 4 --mutate drop-join > mutated4.out
   [1]
   $ narada fuzz --smoke --seed 42 --jobs 1 --mutate drop-join
-  crucible: 30 programs, seed 42, 6 oracles [mutation: drop-join]
+  crucible: 30 programs, seed 42, 7 oracles [mutation: drop-join]
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
     vm-determinism         30      0
     detectors-agree        23      7
     lockset-superset       30      0
+    static-superset        30      0
     synthesis-replay       30      0
   VIOLATION at program #15 (oracle detectors-agree)
     fasttrack={@3.f0} naive-hb={}

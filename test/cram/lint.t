@@ -1,0 +1,54 @@
+The static lint output for a corpus class is pinned byte-for-byte: the
+analyzer, the finding order and the rendered spans are all
+deterministic.
+
+  $ narada lint --corpus C7
+  C7:13:22: warning: static race candidate on .valid: Task.invalidate (13:22, write) <-> Task.invalidate (13:22, write)
+  C7:13:22: warning: static race candidate on .valid: Task.invalidate (13:22, write) <-> Task.isValid (15:30, read)
+  C7:13:22: warning: static race candidate on .valid: Task.invalidate (13:22, write) <-> Task.run (18:12, read)
+  C7:18:22: warning: static race candidate on .runCount: Task.run (18:22, write) <-> Task.run (18:22, write)
+  C7:38:12: warning: static race candidate on .shutdown: PooledExecutorWithInvalidate.execute (38:12, read) <-> PooledExecutorWithInvalidate.shutdownNow (71:4, write)
+  C7:40:4: warning: static race candidate on .[]: PooledExecutorWithInvalidate.execute (40:4, write) <-> PooledExecutorWithInvalidate.execute (40:4, write)
+  C7:40:4: warning: static race candidate on .[]: PooledExecutorWithInvalidate.execute (40:4, write) <-> PooledExecutorWithInvalidate.invalidateAll (60:25, read)
+  C7:40:4: warning: static race candidate on .[]: PooledExecutorWithInvalidate.execute (40:4, write) <-> PooledExecutorWithInvalidate.peek (77:21, read)
+  C7:40:4: warning: static race candidate on .[]: PooledExecutorWithInvalidate.execute (40:4, write) <-> PooledExecutorWithInvalidate.take (48:23, read)
+  C7:49:4: warning: static race candidate on .[]: PooledExecutorWithInvalidate.take (49:4, write) <-> PooledExecutorWithInvalidate.invalidateAll (60:25, read)
+  C7:49:4: warning: static race candidate on .[]: PooledExecutorWithInvalidate.take (49:4, write) <-> PooledExecutorWithInvalidate.peek (77:21, read)
+  C7:49:4: warning: static race candidate on .[]: PooledExecutorWithInvalidate.take (49:4, write) <-> PooledExecutorWithInvalidate.take (49:4, write)
+  C7:68:33: warning: static race candidate on .shutdown: PooledExecutorWithInvalidate.isShutdown (68:33, read) <-> PooledExecutorWithInvalidate.shutdownNow (71:4, write)
+  C7:71:4: warning: static race candidate on .shutdown: PooledExecutorWithInvalidate.shutdownNow (71:4, write) <-> PooledExecutorWithInvalidate.shutdownNow (71:4, write)
+  C7:71:4: warning: write to PooledExecutorWithInvalidate.shutdown in PooledExecutorWithInvalidate.shutdownNow holds no lock, but PooledExecutorWithInvalidate.shutdown is accessed under a lock at C7:38:12
+  C7: 15 findings (0 errors, 15 warnings)
+
+  $ narada lint --corpus C9
+  C9:27:16: warning: static race candidate on .buf: CharArrayReader.read (27:16, read) <-> CharArrayReader.close (62:4, write)
+  C9:27:20: warning: static race candidate on .[]: CharArrayReader.read (27:20, read) <-> CharArrayReader.readChars (35:7, write)
+  C9:27:20: warning: static race candidate on .[]: CharArrayReader.read (27:20, read) <-> Seed.main (69:4, write)
+  C9:28:4: warning: static race candidate on .pos: CharArrayReader.read (28:4, write) <-> CharArrayReader.ready (50:15, read)
+  C9:35:7: warning: static race candidate on .[]: CharArrayReader.readChars (35:7, write) <-> CharArrayReader.readChars (35:7, write)
+  C9:35:7: warning: static race candidate on .[]: CharArrayReader.readChars (35:7, write) <-> Seed.main (69:4, write)
+  C9:35:22: warning: static race candidate on .buf: CharArrayReader.readChars (35:22, read) <-> CharArrayReader.close (62:4, write)
+  C9:36:4: warning: static race candidate on .pos: CharArrayReader.readChars (36:4, write) <-> CharArrayReader.ready (50:15, read)
+  C9:43:4: warning: static race candidate on .pos: CharArrayReader.skip (43:4, write) <-> CharArrayReader.ready (50:15, read)
+  C9:49:12: warning: static race candidate on .buf: CharArrayReader.ready (49:12, read) <-> CharArrayReader.close (62:4, write)
+  C9:50:15: warning: static race candidate on .pos: CharArrayReader.ready (50:15, read) <-> CharArrayReader.reset (58:4, write)
+  C9:62:4: warning: static race candidate on .buf: CharArrayReader.close (62:4, write) <-> CharArrayReader.close (62:4, write)
+  C9:62:4: warning: write to CharArrayReader.buf in CharArrayReader.close holds no lock, but CharArrayReader.buf is accessed under a lock at C9:27:16
+  C9:69:4: warning: static race candidate on .[]: Seed.main (69:4, write) <-> Seed.main (69:4, write)
+  C9:69:4: warning: write to int[].[] in Seed.main holds no lock, but int[].[] is accessed under a lock at C9:27:20
+  C9:70:4: warning: write to int[].[] in Seed.main holds no lock, but int[].[] is accessed under a lock at C9:27:20
+  C9:71:4: warning: write to int[].[] in Seed.main holds no lock, but int[].[] is accessed under a lock at C9:27:20
+  C9:72:4: warning: write to int[].[] in Seed.main holds no lock, but int[].[] is accessed under a lock at C9:27:20
+  C9:73:4: warning: write to int[].[] in Seed.main holds no lock, but int[].[] is accessed under a lock at C9:27:20
+  C9:74:4: warning: write to int[].[] in Seed.main holds no lock, but int[].[] is accessed under a lock at C9:27:20
+  C9: 20 findings (0 errors, 20 warnings)
+
+Whole-corpus lint output is byte-identical for every job count, and the
+exit status is zero even though there are findings (only analyzer
+crashes fail the command):
+
+  $ narada lint --all --jobs 1 > lint1.out
+  $ narada lint --all --jobs 4 > lint4.out
+  $ cmp lint1.out lint4.out
+  $ grep -c "findings (" lint1.out
+  9

@@ -116,6 +116,29 @@ let test_dedup_by_site () =
   let uniq = List.sort_uniq compare keys in
   Alcotest.(check int) "no duplicate pairs" (List.length uniq) (List.length keys)
 
+(* [Pairs.key_of] identifies a pair by its *unordered* site pair plus
+   the field: swapping the endpoints must not change the key, so the
+   generator can never emit both orientations of one race. *)
+let test_key_unordered () =
+  let pairs = pairs_of Testlib.Fixtures.fig1 in
+  Alcotest.(check bool) "nonempty" true (pairs <> []);
+  List.iter
+    (fun (p : Pairs.pair) ->
+      let swapped = { p with Pairs.p_a = p.Pairs.p_b; p_b = p.Pairs.p_a } in
+      Alcotest.(check bool) "key invariant under endpoint swap" true
+        (Pairs.key_of p = Pairs.key_of swapped))
+    pairs;
+  (* and no two generated pairs are each other's swap *)
+  List.iteri
+    (fun i p ->
+      List.iteri
+        (fun j q ->
+          if i <> j then
+            Alcotest.(check bool) "no swapped duplicate" false
+              (Pairs.key_of p = Pairs.key_of q))
+        pairs)
+    pairs
+
 let test_owner_class_compat () =
   List.iter
     (fun (p : Pairs.pair) ->
@@ -133,6 +156,7 @@ let () =
           Alcotest.test_case "one write" `Quick test_at_least_one_write;
           Alcotest.test_case "no ctor endpoints" `Quick test_no_ctor_endpoints;
           Alcotest.test_case "dedup" `Quick test_dedup_by_site;
+          Alcotest.test_case "unordered key" `Quick test_key_unordered;
           Alcotest.test_case "owner compat" `Quick test_owner_class_compat;
         ] );
       ( "filtering",

@@ -1,0 +1,204 @@
+(* Static race analyzer tests: points-to, candidate generation, the
+   static⊇dynamic inclusion on real corpus classes, the planted
+   unsoundness, filter soundness, and determinism. *)
+
+module D = Static.Dom
+
+let analyze_closed src =
+  let cu = Jir.Compile.compile_source src in
+  Static.Analyze.run cu.Jir.Code.cu_program
+
+let analyze_open src =
+  let cu = Jir.Compile.compile_source src in
+  Static.Analyze.run ~open_world:true cu.Jir.Code.cu_program
+
+(* A sync-method write racing an unsynchronized read, exercised by a
+   spawned thread: the canonical closed-world candidate. *)
+let racy_src =
+  {|
+class C {
+  int v;
+  synchronized void set(int x) { this.v = x; }
+  int get() { return this.v; }
+}
+class Main {
+  static void main() {
+    C c = new C();
+    thread t = spawn c.set(1);
+    int r = c.get();
+    join t;
+  }
+}
+|}
+
+(* Both sides synchronized on the same monitor: no candidate. *)
+let safe_src =
+  {|
+class C {
+  int v;
+  synchronized void set(int x) { this.v = x; }
+  synchronized int get() { return this.v; }
+}
+class Main {
+  static void main() {
+    C c = new C();
+    thread t = spawn c.set(1);
+    int r = c.get();
+    join t;
+  }
+}
+|}
+
+let test_closed_world_candidate () =
+  let an = analyze_closed racy_src in
+  Alcotest.(check bool) "covers set/get on v" true
+    (Static.Analyze.covers an ~field:"v" ~m1:"C.set" ~m2:"C.get")
+
+let test_closed_world_locked_clean () =
+  let an = analyze_closed safe_src in
+  Alcotest.(check bool) "no set/get candidate" false
+    (Static.Analyze.covers an ~field:"v" ~m1:"C.set" ~m2:"C.get")
+
+let test_no_spawn_no_candidates () =
+  (* Closed world without spawns: nothing may happen in parallel. *)
+  let src =
+    {|
+class C {
+  int v;
+  void set(int x) { this.v = x; }
+}
+class Main {
+  static void main() { C c = new C(); c.set(1); }
+}
+|}
+  in
+  let an = analyze_closed src in
+  Alcotest.(check int) "no candidates" 0
+    (List.length (Static.Analyze.candidates an))
+
+let test_drop_sync_mutation () =
+  (* The planted unsoundness must lose the candidate whose write sits
+     inside the sync region — that is what the Crucible oracle catches. *)
+  let cu = Jir.Compile.compile_source racy_src in
+  let sound = Static.Analyze.run cu.Jir.Code.cu_program in
+  let mutated =
+    Static.Analyze.run ~mutate:Static.Analyze.Drop_sync cu.Jir.Code.cu_program
+  in
+  Alcotest.(check bool) "sound covers" true
+    (Static.Analyze.covers sound ~field:"v" ~m1:"C.set" ~m2:"C.get");
+  Alcotest.(check bool) "mutated loses the pair" false
+    (Static.Analyze.covers mutated ~field:"v" ~m1:"C.set" ~m2:"C.get")
+
+(* Open world: cross-object operations alias through the library
+   boundary even when the seed never passes the objects that way (the
+   C4 DynamicBin1D pattern that synthesized tests exercise). *)
+let test_open_world_param_alias () =
+  let src =
+    {|
+class Bin {
+  int size;
+  synchronized void grow() { this.size = this.size + 1; }
+  synchronized int peek(Bin other) { return other.size; }
+}
+class Main {
+  static void main() {
+    Bin a = new Bin();
+    Bin b = new Bin();
+    a.grow();
+    int n = a.peek(b);
+  }
+}
+|}
+  in
+  let opened = analyze_open src in
+  Alcotest.(check bool) "open world sees the cross-object race" true
+    (Static.Analyze.covers opened ~field:"size" ~m1:"Bin.grow" ~m2:"Bin.peek")
+
+let test_determinism () =
+  let keys an =
+    List.map D.key_of (Static.Analyze.candidates an)
+  in
+  let a = analyze_open racy_src and b = analyze_open racy_src in
+  Alcotest.(check (list (triple string string string)))
+    "same candidates, same order" (keys a) (keys b)
+
+(* ---- corpus-level properties ---- *)
+
+let detected_keys (ce : Eval.Evaluate.class_eval) =
+  List.concat_map
+    (fun (te : Eval.Evaluate.test_eval) ->
+      List.map (fun ro -> ro.Eval.Evaluate.ro_key) te.Eval.Evaluate.te_races)
+    ce.Eval.Evaluate.cl_test_evals
+  |> List.sort_uniq Detect.Race.compare_key
+
+let entry id =
+  match Corpus.Registry.find id with
+  | Some e -> e
+  | None -> Alcotest.fail ("unknown corpus id " ^ id)
+
+let class_eval ?(static_filter = false) id =
+  let opts =
+    { Eval.Evaluate.default_options with opt_static_filter = static_filter }
+  in
+  match Eval.Evaluate.evaluate_class ~opts (entry id) with
+  | Ok ce -> ce
+  | Error msg -> Alcotest.fail (id ^ ": " ^ msg)
+
+(* Every dynamically detected corpus race must be a static candidate in
+   open-world mode — the same inclusion the Crucible oracle checks on
+   random whole programs, here on the real benchmark classes. *)
+let test_corpus_superset id () =
+  let e = entry id in
+  let cu = Corpus.Registry.compiled_unit e in
+  let an = Static.Analyze.run ~open_world:true cu.Jir.Code.cu_program in
+  List.iter
+    (fun (k : Detect.Race.key) ->
+      Alcotest.(check bool)
+        ("covers " ^ Detect.Race.key_to_string k)
+        true
+        (Static.Analyze.covers an ~field:k.Detect.Race.k_field
+           ~m1:k.Detect.Race.k_site1.Runtime.Event.s_meth
+           ~m2:k.Detect.Race.k_site2.Runtime.Event.s_meth))
+    (detected_keys (class_eval id))
+
+(* The --static-filter prune must not change any detection outcome:
+   same detected races, same reproduction counts. *)
+let test_filter_sound id () =
+  let plain = class_eval id in
+  let filtered = class_eval ~static_filter:true id in
+  Alcotest.(check (list string))
+    "same detected race keys"
+    (List.map Detect.Race.key_to_string (detected_keys plain))
+    (List.map Detect.Race.key_to_string (detected_keys filtered));
+  Alcotest.(check int) "same reproduced count" plain.Eval.Evaluate.cl_reproduced
+    filtered.Eval.Evaluate.cl_reproduced
+
+let () =
+  Alcotest.run "static"
+    [
+      ( "candidates",
+        [
+          Alcotest.test_case "closed-world race" `Quick
+            test_closed_world_candidate;
+          Alcotest.test_case "common lock suppresses" `Quick
+            test_closed_world_locked_clean;
+          Alcotest.test_case "no spawn, no MHP" `Quick
+            test_no_spawn_no_candidates;
+          Alcotest.test_case "drop-sync mutation is unsound" `Quick
+            test_drop_sync_mutation;
+          Alcotest.test_case "open-world param aliasing" `Quick
+            test_open_world_param_alias;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "C9 static superset of dynamic" `Slow
+            (test_corpus_superset "C9");
+          Alcotest.test_case "C4 static superset of dynamic" `Slow
+            (test_corpus_superset "C4");
+          Alcotest.test_case "C9 filter soundness" `Slow
+            (test_filter_sound "C9");
+          Alcotest.test_case "C4 filter soundness" `Slow
+            (test_filter_sound "C4");
+        ] );
+    ]

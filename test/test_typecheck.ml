@@ -91,6 +91,43 @@ let bad_cases =
     rejects "assert non-bool" "class A { void m() { assert 1; } }";
   ]
 
+(* Negative cases whose diagnostic must carry a real source position
+   all the way into the rendered message — the CLI and narada lint both
+   show [Diag.to_string], so a dummy position there is a usability
+   regression even when the rejection itself is right. *)
+let rejects_at name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Jir.Typecheck.check_program (Jir.Parser.parse_program src) with
+      | _ -> Alcotest.fail (name ^ ": expected a type error")
+      | exception Jir.Diag.Error d ->
+        let line = d.Jir.Diag.pos.Jir.Ast.line in
+        Alcotest.(check bool) "position recorded" true (line > 0);
+        let rendered = Jir.Diag.to_string d in
+        let prefix = string_of_int line ^ ":" in
+        Alcotest.(check bool) "position survives rendering" true
+          (String.length rendered >= String.length prefix
+          && String.equal (String.sub rendered 0 (String.length prefix)) prefix))
+
+let positioned_cases =
+  [
+    rejects_at "sync on int nested in sync"
+      "class A { void m() {\n\
+      \  synchronized (this) {\n\
+      \    synchronized (1) { }\n\
+       } } }";
+    rejects_at "sync nested on void call"
+      "class A { void f() { }\n\
+       void m() { synchronized (this.f()) { } } }";
+    rejects_at "field access on int"
+      "class A { int m() {\n  int x = 1;\n  return x.nope; } }";
+    rejects_at "field access on bool"
+      "class A { bool b;\n  int m() { return this.b.len; } }";
+    rejects_at "spawn of unknown method"
+      "class A { void m() {\n  thread t = spawn this.nope(); } }";
+    rejects_at "spawn on non-object"
+      "class A { void m() {\n  int x = 3;\n  thread t = spawn x.run(); } }";
+  ]
+
 (* Static synchronized is rejected by the compiler stage. *)
 let rejects_compile name src =
   Alcotest.test_case name `Quick (fun () ->
@@ -108,4 +145,9 @@ let compile_cases =
 
 let () =
   Alcotest.run "typecheck"
-    [ ("accepts", ok_cases); ("rejects", bad_cases); ("compile", compile_cases) ]
+    [
+      ("accepts", ok_cases);
+      ("rejects", bad_cases);
+      ("rejects with position", positioned_cases);
+      ("compile", compile_cases);
+    ]
