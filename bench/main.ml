@@ -48,7 +48,7 @@ let regenerate_tables ~with_contege ~jobs =
     " Reproduction of 'Synthesizing Racy Tests' (PLDI 2015) -- results";
   print_endline
     "==================================================================\n";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.ticks () in
   let evals =
     List.filter_map
       (fun (e, r) ->
@@ -59,7 +59,7 @@ let regenerate_tables ~with_contege ~jobs =
           None)
       (Eval.Evaluate.evaluate_corpus ~jobs Corpus.Registry.all)
   in
-  let t1 = Unix.gettimeofday () in
+  let wall_s = Obs.Clock.elapsed_s ~since:t0 in
   print_string (Eval.Tables.table3 ());
   print_newline ();
   print_string (Eval.Tables.table4 evals);
@@ -84,8 +84,8 @@ let regenerate_tables ~with_contege ~jobs =
   Printf.printf
     "full evaluation wall-clock: %.2fs (paper: 201.3s synthesis on a 3.5GHz \
      i7 against the real JVM classes)\n\n"
-    (t1 -. t0);
-  (evals, t1 -. t0)
+    wall_s;
+  (evals, wall_s)
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_parallel.json: wall-clock of the full campaign per jobs        *)
@@ -96,8 +96,9 @@ let regenerate_tables ~with_contege ~jobs =
 
 let bench_parallel_file = "BENCH_parallel.json"
 
-(* Parse back the configurations we wrote earlier; the format below is
-   the only producer, so a minimal scan suffices (no JSON dependency). *)
+(* Parse back the configurations we wrote earlier; the gauge-line format
+   below is the only producer, so a minimal scan suffices (no JSON
+   dependency). *)
 let read_bench_parallel () : (int * float) list =
   match open_in bench_parallel_file with
   | exception Sys_error _ -> []
@@ -108,15 +109,20 @@ let read_bench_parallel () : (int * float) list =
         (fun () -> really_input_string ic (in_channel_length ic))
     in
     let configs = ref [] in
-    String.split_on_char '{' content
-    |> List.iter (fun chunk ->
+    String.split_on_char '\n' content
+    |> List.iter (fun line ->
            match
-             Scanf.sscanf chunk " \"jobs\": %d, \"wall_s\": %f" (fun j w -> (j, w))
+             Scanf.sscanf line
+               "{\"kind\": \"volatile\", \"type\": \"gauge\", \"name\": \
+                \"campaign/wall_s\", \"value\": %f, \"jobs\": %d"
+               (fun w j -> (j, w))
            with
            | cfg -> configs := cfg :: !configs
            | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ());
     List.rev !configs
 
+(* BENCH files share the observability export schema: one meta line,
+   then one gauge line per jobs configuration. *)
 let write_bench_parallel ~jobs ~wall_s =
   let configs =
     ((jobs, wall_s) :: List.remove_assoc jobs (read_bench_parallel ()))
@@ -127,17 +133,31 @@ let write_bench_parallel ~jobs ~wall_s =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "[\n";
-      List.iteri
-        (fun i (j, w) ->
+      output_string oc
+        (Obs.Export.meta_line
+           ~fields:
+             [
+               ( "benchmark",
+                 Obs.Export.json_str "parallel detection campaign, whole corpus"
+               );
+             ]
+           ());
+      output_char oc '\n';
+      List.iter
+        (fun (j, w) ->
           let speedup =
             match baseline with Some b when w > 0.0 -> b /. w | _ -> 1.0
           in
-          Printf.fprintf oc "  { \"jobs\": %d, \"wall_s\": %.3f, \"speedup\": %.2f }%s\n"
-            j w speedup
-            (if i < List.length configs - 1 then "," else ""))
-        configs;
-      output_string oc "]\n");
+          output_string oc
+            (Obs.Export.gauge_line ~name:"campaign/wall_s" ~value:w
+               ~fields:
+                 [
+                   ("jobs", string_of_int j);
+                   ("speedup", Printf.sprintf "%.2f" speedup);
+                 ]
+               ());
+          output_char oc '\n')
+        configs);
   Printf.printf "wrote %s (campaign wall-clock at jobs=%d: %.2fs)\n\n"
     bench_parallel_file jobs wall_s
 
@@ -164,9 +184,9 @@ let static_bench () =
        sample is mostly scheduler noise *)
     let best = ref infinity in
     for _ = 1 to 3 do
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.ticks () in
       ignore (analyze_all ~jobs);
-      best := Float.min !best (Unix.gettimeofday () -. t0)
+      best := Float.min !best (Obs.Clock.elapsed_s ~since:t0)
     done;
     !best
   in
@@ -176,24 +196,39 @@ let static_bench () =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "{\n";
-      output_string oc
-        "  \"benchmark\": \"open-world static race analysis, whole corpus\",\n";
-      output_string oc "  \"classes\": [\n";
-      List.iteri
-        (fun i (id, n) ->
-          Printf.fprintf oc "    { \"id\": \"%s\", \"candidates\": %d }%s\n" id
-            n
-            (if i < List.length counts - 1 then "," else ""))
+      let line l =
+        output_string oc l;
+        output_char oc '\n'
+      in
+      line
+        (Obs.Export.meta_line
+           ~fields:
+             [
+               ( "benchmark",
+                 Obs.Export.json_str
+                   "open-world static race analysis, whole corpus" );
+             ]
+           ());
+      (* candidate counts are deterministic: stable counter lines *)
+      List.iter
+        (fun (id, n) ->
+          line
+            (Obs.Export.counter_line
+               ~name:(Printf.sprintf "static/%s/candidates" id)
+               ~value:n))
         counts;
-      output_string oc "  ],\n";
-      output_string oc "  \"configs\": [\n";
-      Printf.fprintf oc
-        "    { \"jobs\": 1, \"wall_s\": %.4f, \"speedup\": 1.00 },\n" w1;
-      Printf.fprintf oc
-        "    { \"jobs\": 4, \"wall_s\": %.4f, \"speedup\": %.2f }\n" w4
-        (if w4 > 0.0 then w1 /. w4 else 1.0);
-      output_string oc "  ]\n}\n");
+      let config ~jobs ~w ~speedup =
+        line
+          (Obs.Export.gauge_line ~name:"static/wall_s" ~value:w
+             ~fields:
+               [
+                 ("jobs", string_of_int jobs);
+                 ("speedup", Printf.sprintf "%.2f" speedup);
+               ]
+             ())
+      in
+      config ~jobs:1 ~w:w1 ~speedup:1.0;
+      config ~jobs:4 ~w:w4 ~speedup:(if w4 > 0.0 then w1 /. w4 else 1.0));
   Printf.printf "wrote %s (static analyzer wall-clock: %.1fms at jobs=1, %.1fms at jobs=4)\n\n"
     bench_static_file (1000.0 *. w1) (1000.0 *. w4)
 

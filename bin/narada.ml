@@ -65,6 +65,24 @@ let jobs_arg =
            recommended domain count). Results are identical for every job \
            count.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability registry (counters, histograms, spans, \
+           gauges) to FILE as JSONL after the command finishes.  The \
+           $(i,stable) section is byte-identical for every --jobs value; \
+           timings and pool gauges are in the $(i,volatile) section.")
+
+(* Dump the global registry after a command body ran.  [meta] values are
+   pre-rendered JSON. *)
+let write_metrics path ~meta =
+  match path with
+  | None -> ()
+  | Some path -> Obs.Export.write_jsonl ~path ~meta (Obs.Metrics.global ())
+
 let or_die = function
   | Ok x -> x
   | Error msg ->
@@ -171,7 +189,7 @@ let static_filter_arg =
            reported).")
 
 let analyze_cmd =
-  let run file corpus client entry verbose static_filter =
+  let run file corpus client entry verbose static_filter metrics_out =
     let src, default_client, default_entry, _ = or_die (load_source ~file ~corpus) in
     let client = if corpus <> None then default_client else client in
     let entry = if corpus <> None then default_entry else entry in
@@ -180,6 +198,7 @@ let analyze_cmd =
         (Narada_core.Pipeline.analyze_source src ~static_filter
            ~client_classes:[ client ] ~seed_cls:client ~seed_meth:entry)
     in
+    write_metrics metrics_out ~meta:[ ("cmd", Obs.Export.json_str "analyze") ];
     Printf.printf "%s\n" (Narada_core.Pipeline.summary_to_string an);
     if verbose then begin
       print_endline "-- accesses (A) --";
@@ -205,7 +224,7 @@ let analyze_cmd =
        ~doc:"Run the trace analysis: accesses, setters, racy pairs (§3.1-3.3).")
     Term.(
       const run $ file_arg $ corpus_arg $ client_arg $ entry_arg $ verbose
-      $ static_filter_arg)
+      $ static_filter_arg $ metrics_out_arg)
 
 (* ---- lint ---- *)
 
@@ -304,7 +323,7 @@ let synthesize_cmd =
 (* ---- detect ---- *)
 
 let detect_cmd =
-  let run corpus_id jobs static_filter =
+  let run corpus_id jobs static_filter metrics_out =
     match Corpus.Registry.find corpus_id with
     | None ->
       prerr_endline ("narada: unknown corpus id " ^ corpus_id);
@@ -347,7 +366,14 @@ let detect_cmd =
                   | Some v -> " [" ^ Detect.Triage.verdict_to_string v ^ "]"
                   | None -> ""))
               te.Eval.Evaluate.te_races)
-          ce.Eval.Evaluate.cl_test_evals)
+          ce.Eval.Evaluate.cl_test_evals;
+        write_metrics metrics_out
+          ~meta:
+            [
+              ("cmd", Obs.Export.json_str "detect");
+              ("corpus", Obs.Export.json_str corpus_id);
+              ("jobs", string_of_int (max 1 jobs));
+            ])
   in
   let id =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Corpus id (C1..C9).")
@@ -357,14 +383,33 @@ let detect_cmd =
        ~doc:
          "Synthesize tests for a corpus class, run them under the detection \
           stack and report every race (detected / reproduced / triaged).")
-    Term.(const run $ id $ jobs_arg $ static_filter_arg)
+    Term.(const run $ id $ jobs_arg $ static_filter_arg $ metrics_out_arg)
 
 (* ---- eval ---- *)
 
+(* The smoke campaign: a three-class subset with a lighter detection
+   budget, small enough for CI to run at several job counts. *)
+let smoke_ids = [ "C1"; "C3"; "C9" ]
+
 let eval_cmd =
-  let run with_contege budget jobs static_filter =
+  let run with_contege budget jobs static_filter smoke metrics_out =
     let opts =
-      { Eval.Evaluate.default_options with opt_static_filter = static_filter }
+      if smoke then
+        {
+          Eval.Evaluate.default_options with
+          opt_schedules = 2;
+          opt_confirm_runs = 3;
+          opt_static_filter = static_filter;
+        }
+      else
+        { Eval.Evaluate.default_options with opt_static_filter = static_filter }
+    in
+    let entries =
+      if smoke then
+        List.filter
+          (fun e -> List.mem e.Corpus.Corpus_def.e_id smoke_ids)
+          Corpus.Registry.all
+      else Corpus.Registry.all
     in
     let evals =
       List.filter_map
@@ -374,8 +419,7 @@ let eval_cmd =
           | Error msg ->
             Printf.eprintf "narada: %s failed: %s\n" e.Corpus.Corpus_def.e_id msg;
             None)
-        (Eval.Evaluate.evaluate_corpus ~opts ~jobs:(max 1 jobs)
-           Corpus.Registry.all)
+        (Eval.Evaluate.evaluate_corpus ~opts ~jobs:(max 1 jobs) entries)
     in
     print_string (Eval.Tables.table3 ());
     print_newline ();
@@ -387,7 +431,14 @@ let eval_cmd =
     if with_contege then begin
       print_newline ();
       print_string (Eval.Tables.contege_table (Eval.Tables.contege_rows ~budget evals))
-    end
+    end;
+    write_metrics metrics_out
+      ~meta:
+        [
+          ("cmd", Obs.Export.json_str "eval");
+          ("smoke", if smoke then "true" else "false");
+          ("jobs", string_of_int (max 1 jobs));
+        ]
   in
   let with_contege =
     Arg.(value & flag & info [ "contege" ] ~doc:"Also run the ConTeGe baseline.")
@@ -397,10 +448,21 @@ let eval_cmd =
       value & opt int 150
       & info [ "budget" ] ~docv:"N" ~doc:"Random tests per class for the baseline.")
   in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Bounded smoke campaign: classes C1, C3, C9 with a reduced \
+             detection budget (CI uses this to cross-check metrics across \
+             job counts).")
+  in
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Reproduce Tables 3-5 and Figure 14 over the whole corpus.")
-    Term.(const run $ with_contege $ budget $ jobs_arg $ static_filter_arg)
+    Term.(
+      const run $ with_contege $ budget $ jobs_arg $ static_filter_arg $ smoke
+      $ metrics_out_arg)
 
 (* ---- contege ---- *)
 
@@ -522,7 +584,7 @@ let explore_cmd =
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
-  let run count seed jobs smoke mutate =
+  let run count seed jobs smoke mutate metrics_out =
     let mutate =
       match mutate with
       | None -> None
@@ -538,6 +600,12 @@ let fuzz_cmd =
     in
     let report = Fuzz.Crucible.run opts in
     print_string (Fuzz.Crucible.report_to_string report);
+    write_metrics metrics_out
+      ~meta:
+        [
+          ("cmd", Obs.Export.json_str "fuzz");
+          ("jobs", string_of_int (max 1 jobs));
+        ];
     if not (Fuzz.Crucible.ok report) then exit 1
   in
   let count =
@@ -571,7 +639,56 @@ let fuzz_cmd =
           happens-before oracle, lockset coverage, static race-analyzer \
           soundness, synthesis replay).  Deterministic: the report is \
           byte-identical for every --jobs.")
-    Term.(const run $ count $ seed_arg $ jobs_arg $ smoke $ mutate)
+    Term.(const run $ count $ seed_arg $ jobs_arg $ smoke $ mutate $ metrics_out_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run static_filter metrics_out =
+    let reg = Obs.Metrics.global () in
+    let ms ns = Int64.to_float ns /. 1e6 in
+    Printf.printf "%-4s %7s %6s %6s | %9s %10s %9s %11s %9s %9s\n" "Cls" "events"
+      "pairs" "tests" "trace_ms" "analyze_ms" "pairs_ms" "context_ms" "synth_ms"
+      "total_ms";
+    print_endline (String.make 97 '-');
+    List.iter
+      (fun (e : Corpus.Corpus_def.entry) ->
+        Obs.Metrics.reset reg;
+        let cu = compile_or_die ~entry:e e.Corpus.Corpus_def.e_source in
+        match
+          Narada_core.Pipeline.analyze cu ~static_filter
+            ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
+            ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
+            ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
+        with
+        | Error msg ->
+          Printf.printf "%-4s analysis failed: %s\n" e.Corpus.Corpus_def.e_id msg
+        | Ok an ->
+          let span p = Obs.Metrics.span_ns reg p in
+          let context_ns = span "pipeline/synth/context" in
+          (* synth self-time: the synthesis span minus its context child *)
+          let synth_ns = Int64.sub (span "pipeline/synth") context_ns in
+          Printf.printf
+            "%-4s %7d %6d %6d | %9.2f %10.2f %9.2f %11.2f %9.2f %9.2f\n"
+            e.Corpus.Corpus_def.e_id an.Narada_core.Pipeline.an_trace_len
+            (List.length an.Narada_core.Pipeline.an_pairs)
+            (List.length an.Narada_core.Pipeline.an_tests)
+            (ms (span "pipeline/trace"))
+            (ms (span "pipeline/analyze"))
+            (ms (span "pipeline/pairs"))
+            (ms context_ns) (ms synth_ns)
+            (ms (span "pipeline")))
+      Corpus.Registry.all;
+    write_metrics metrics_out ~meta:[ ("cmd", Obs.Export.json_str "profile") ]
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the synthesis pipeline over every corpus class and print a \
+          per-stage breakdown (trace, analysis, pair generation, context \
+          derivation, synthesis) from the observability spans.  The count \
+          columns are deterministic; timings are wall-clock (monotonic).")
+    Term.(const run $ static_filter_arg $ metrics_out_arg)
 
 (* ---- deadlock ---- *)
 
@@ -627,6 +744,7 @@ let main_cmd =
       deadlock_cmd;
       explore_cmd;
       fuzz_cmd;
+      profile_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

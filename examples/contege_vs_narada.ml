@@ -56,9 +56,9 @@ let () =
           (List.length an.Narada_core.Pipeline.an_tests)
           !confirmed an.Narada_core.Pipeline.an_seconds;
         (* ConTeGe *)
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.ticks () in
         let camp = Contege.campaign e ~budget ~schedules:5 ~seed:11L in
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Obs.Clock.elapsed_s ~since:t0 in
         Printf.printf
           "  random : %d blind tests (%d valid) -> %d violations%s (%.2fs)\n\n"
           camp.Contege.ca_tests camp.Contege.ca_valid camp.Contege.ca_violations

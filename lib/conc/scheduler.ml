@@ -15,23 +15,10 @@ let name t = t.name
 
 let choose t m runnable = t.choose m runnable
 
-(* splitmix64 stream, kept per-scheduler. *)
-type rng = { mutable state : int64 }
+(* Per-scheduler stream: the shared unbiased generator. *)
+let mk_rng seed = Rng.create seed
 
-let mk_rng seed = { state = seed }
-
-let rand_bits rng =
-  let open Int64 in
-  let s = add rng.state 0x9E3779B97F4A7C15L in
-  rng.state <- s;
-  let z = s in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
-
-let rand_below rng n =
-  if n <= 0 then invalid_arg "rand_below";
-  Int64.to_int (Int64.rem (Int64.logand (rand_bits rng) Int64.max_int) (Int64.of_int n))
+let rand_below = Rng.below
 
 let round_robin () =
   let last = ref (-1) in

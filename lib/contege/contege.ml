@@ -13,23 +13,16 @@
    Tests are generated as Jir source (so they are printable and
    independently runnable), then compiled and executed in-process. *)
 
-type rng = { mutable state : int64 }
+(* Random choices go through the shared unbiased generator; [Rng.pick]
+   raises a descriptive [Invalid_argument] on an empty list instead of
+   the historical [Division_by_zero]. *)
+type rng = Rng.t
 
-let mk_rng seed = { state = seed }
+let mk_rng seed = Rng.create seed
 
-let next rng =
-  let open Int64 in
-  let s = add rng.state 0x9E3779B97F4A7C15L in
-  rng.state <- s;
-  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
+let below = Rng.below
 
-let below rng n =
-  if n <= 0 then 0
-  else Int64.to_int (Int64.rem (Int64.logand (next rng) Int64.max_int) (Int64.of_int n))
-
-let pick rng l = List.nth l (below rng (List.length l))
+let pick = Rng.pick
 
 (* ------------------------------------------------------------------ *)
 (* Source generation                                                   *)

@@ -1,6 +1,7 @@
 (* End-to-end Narada pipeline (Fig. 6): sequential seed execution →
    access analysis → pair generation → context derivation → test
-   synthesis, with wall-clock timing for the Table 4 reproduction. *)
+   synthesis, with monotonic timing for the Table 4 reproduction and
+   per-stage spans for `narada profile`. *)
 
 type analysis = {
   an_cu : Jir.Code.unit_;
@@ -31,23 +32,39 @@ let static_prune (cu : Jir.Code.unit_) (pairs : Pairs.pair list) =
 
 let analyze ?(seed = 42L) ?(static_filter = false) (cu : Jir.Code.unit_)
     ~client_classes ~seed_cls ~seed_meth : (analysis, string) result =
-  let t0 = Unix.gettimeofday () in
+  (* ~root: analyses may run on a Par worker domain; the span paths must
+     not depend on where the work was scheduled. *)
+  let sp = Obs.Span.enter ~root:true "pipeline" in
+  let t0 = Obs.Clock.ticks () in
   let _m, trace, res =
-    Runtime.Interp.record ~seed cu ~client_classes ~cls:seed_cls ~meth:seed_meth
+    Obs.Span.with_ "trace" (fun () ->
+        Runtime.Interp.record ~seed cu ~client_classes ~cls:seed_cls
+          ~meth:seed_meth)
   in
   match res with
-  | Error e -> Error (Printf.sprintf "seed test failed: %s" e)
+  | Error e ->
+    Obs.Span.exit sp;
+    Error (Printf.sprintf "seed test failed: %s" e)
   | Ok _ ->
-    let access = Access.analyze cu ~client_classes trace in
-    let all_pairs = Pairs.generate access in
+    Obs.Span.observe sp "trace_events" (Runtime.Trace.length trace);
+    let access =
+      Obs.Span.with_ "analyze" (fun () -> Access.analyze cu ~client_classes trace)
+    in
+    let all_pairs = Obs.Span.with_ "pairs" (fun () -> Pairs.generate access) in
     let pairs, pruned =
-      if static_filter then static_prune cu all_pairs else (all_pairs, [])
+      if static_filter then
+        Obs.Span.with_ "static-filter" (fun () -> static_prune cu all_pairs)
+      else (all_pairs, [])
     in
     let tests =
-      Synth.plan cu.Jir.Code.cu_program access.Access.summary ~seed_cls
-        ~seed_meth pairs
+      Obs.Span.with_ "synth" (fun () ->
+          Synth.plan cu.Jir.Code.cu_program access.Access.summary ~seed_cls
+            ~seed_meth pairs)
     in
-    let t1 = Unix.gettimeofday () in
+    Obs.Span.observe sp "pairs" (List.length pairs);
+    Obs.Span.observe sp "tests" (List.length tests);
+    let seconds = Obs.Clock.elapsed_s ~since:t0 in
+    Obs.Span.exit sp;
     Ok
       {
         an_cu = cu;
@@ -60,7 +77,7 @@ let analyze ?(seed = 42L) ?(static_filter = false) (cu : Jir.Code.unit_)
         an_pairs_pruned = List.length pruned;
         an_static_filter = static_filter;
         an_tests = tests;
-        an_seconds = t1 -. t0;
+        an_seconds = seconds;
       }
 
 let analyze_source ?seed ?static_filter src ~client_classes ~seed_cls ~seed_meth

@@ -54,8 +54,9 @@ let plan (prog : Jir.Program.t) (summary : Summary.t) ~seed_cls ~seed_meth
         let plan_of (e : Pairs.endpoint) =
           (* The recipe drives the *root* object (receiver/argument the
              test controls); the racy owner sits at the end of the path. *)
-          Context.plan_for prog summary ~owner_cls:e.Pairs.ep_root_cls
-            ~path:e.Pairs.ep_owner_path.Sym.fields
+          Obs.Span.with_ "context" (fun () ->
+              Context.plan_for prog summary ~owner_cls:e.Pairs.ep_root_cls
+                ~path:e.Pairs.ep_owner_path.Sym.fields)
         in
         let t =
           {

@@ -44,13 +44,8 @@ type confirm_result = {
   steps : int;
 }
 
-(* splitmix64, local copy to keep this module self-contained. *)
-let rand_next (s : int64) : int64 * int64 =
-  let open Int64 in
-  let s = add s 0x9E3779B97F4A7C15L in
-  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  (logxor z (shift_right_logical z 31), s)
+(* Per-execution facts, schedule-independent given the seed. *)
+type run_stats = { rs_steps : int; rs_max_postponed : int }
 
 let access_of_pending m tid (pa : Runtime.Machine.pending_access) ~label :
     Race.access =
@@ -80,17 +75,14 @@ let conflicting (a : Runtime.Machine.pending_access)
 let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
     ~(on_confirm :
        [ `Report | `Force_first of unit | `Force_second of unit ]) :
-    Race.report option =
-  let rng = ref seed in
-  let pick n =
-    let z, s = rand_next !rng in
-    rng := s;
-    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int n))
-  in
+    Race.report option * run_stats =
+  let rng = Rng.create seed in
+  let pick n = Rng.below rng n in
   let postponed : (Runtime.Value.tid, Runtime.Machine.pending_access) Hashtbl.t =
     Hashtbl.create 4
   in
   let steps = ref 0 in
+  let max_postponed = ref 0 in
   let result = ref None in
   let step_tid tid =
     ignore (Runtime.Machine.step m tid);
@@ -107,6 +99,8 @@ let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
             | Some pa when matches cand pa -> Hashtbl.replace postponed tid pa
             | Some _ | None -> ())
         (Runtime.Machine.runnable_tids m);
+      if Hashtbl.length postponed > !max_postponed then
+        max_postponed := Hashtbl.length postponed;
       (* Check for a simultaneously-enabled conflicting pair. *)
       let poised = Hashtbl.fold (fun tid pa acc -> (tid, pa) :: acc) postponed [] in
       let pair =
@@ -175,13 +169,18 @@ let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
         drain (fuel - 1)
   in
   loop fuel;
-  !result
+  (!result, { rs_steps = !steps; rs_max_postponed = !max_postponed })
 
 (* Try to confirm a candidate over several directed runs with different
    scheduler seeds.  Each run is an independent seeded VM execution, so
    with [jobs > 1] all runs are fanned out over a domain pool and the
    sequential early-exit answer is recovered by scanning the results in
-   run order — the outcome is identical for every job count. *)
+   run order — the outcome is identical for every job count.
+
+   Metrics are aggregated over the *logical prefix* only (runs
+   [0 .. runs_used - 1]): the parallel path executes every run, but the
+   extra runs past the confirmation must not leak into the registry or
+   the stable metrics would depend on the job count. *)
 let confirm ~(instantiate : instantiator) ~(cand : candidate) ?(runs = 10)
     ?(fuel = 200_000) ?(seed = 7L) ?(jobs = 1) () : confirm_result =
   let attempt_once i =
@@ -193,24 +192,44 @@ let confirm ~(instantiate : instantiator) ~(cand : candidate) ?(runs = 10)
         (directed_run inst.ri_machine ~cand ~seed:run_seed ~fuel
            ~on_confirm:`Report)
   in
-  if jobs <= 1 then begin
-    let rec attempt i =
-      if i >= runs then { confirmed = None; runs_used = runs; steps = 0 }
-      else
-        match attempt_once i with
-        | Error () -> { confirmed = None; runs_used = i; steps = 0 }
-        | Ok (Some r) -> { confirmed = Some r; runs_used = i + 1; steps = 0 }
-        | Ok None -> attempt (i + 1)
-    in
-    attempt 0
-  end
-  else begin
-    let outcomes = Par.mapi ~jobs (List.init runs Fun.id) (fun _ i -> attempt_once i) in
-    let rec scan i = function
-      | [] -> { confirmed = None; runs_used = runs; steps = 0 }
-      | Error () :: _ -> { confirmed = None; runs_used = i; steps = 0 }
-      | Ok (Some r) :: _ -> { confirmed = Some r; runs_used = i + 1; steps = 0 }
-      | Ok None :: rest -> scan (i + 1) rest
-    in
-    scan 0 outcomes
-  end
+  let outcomes =
+    if jobs <= 1 then begin
+      (* Early exit: stop at the first confirmation or instantiation
+         failure; the runs executed are exactly the logical prefix. *)
+      let acc = ref [] in
+      let rec attempt i =
+        if i < runs then begin
+          let o = attempt_once i in
+          acc := o :: !acc;
+          match o with
+          | Error () | Ok (Some _, _) -> ()
+          | Ok (None, _) -> attempt (i + 1)
+        end
+      in
+      attempt 0;
+      List.rev !acc
+    end
+    else Par.mapi ~jobs (List.init runs Fun.id) (fun _ i -> attempt_once i)
+  in
+  let rec scan i = function
+    | [] -> { confirmed = None; runs_used = runs; steps = 0 }
+    | Error () :: _ -> { confirmed = None; runs_used = i; steps = 0 }
+    | Ok (Some r, _) :: _ -> { confirmed = Some r; runs_used = i + 1; steps = 0 }
+    | Ok (None, _) :: rest -> scan (i + 1) rest
+  in
+  let res = scan 0 outcomes in
+  let reg = Obs.Metrics.global () in
+  let prefix_steps = ref 0 in
+  List.iteri
+    (fun i o ->
+      if i < res.runs_used then
+        match o with
+        | Ok (_, st) ->
+          prefix_steps := !prefix_steps + st.rs_steps;
+          Obs.Metrics.observe reg "racefuzzer/steps" st.rs_steps;
+          Obs.Metrics.observe reg "racefuzzer/postponed_max" st.rs_max_postponed
+        | Error () -> ())
+    outcomes;
+  if res.confirmed <> None then
+    Obs.Metrics.observe reg "racefuzzer/runs_to_confirm" res.runs_used;
+  { res with steps = !prefix_steps }

@@ -30,8 +30,12 @@ val matches : candidate -> Runtime.Machine.pending_access -> bool
 type confirm_result = {
   confirmed : Race.report option;
   runs_used : int;
-  steps : int;
+  steps : int;  (** VM steps over the logical prefix of runs executed *)
 }
+
+type run_stats = { rs_steps : int; rs_max_postponed : int }
+(** Per-execution facts: steps taken and the postponed-set high-water
+    mark.  Deterministic given the machine and seed. *)
 
 val confirm :
   instantiate:instantiator ->
@@ -53,7 +57,7 @@ val directed_run :
   seed:int64 ->
   fuel:int ->
   on_confirm:[ `Report | `Force_first of unit | `Force_second of unit ] ->
-  Race.report option
+  Race.report option * run_stats
 (** One directed execution.  [`Report] stops at the confirmation;
     [`Force_first]/[`Force_second] execute the racing accesses back to
     back in the given order and run the program to completion (used by

@@ -102,7 +102,11 @@ let triage ~(instantiate : Racefuzzer.instantiator)
     ~(cand : Racefuzzer.candidate) ?(seed = 7L) ?(fuel = 200_000) () :
     (verdict, string) result =
   let with_instance k =
-    match instantiate () with Error e -> Error e | Ok inst -> Ok (k inst)
+    match instantiate () with
+    | Error e -> Error e
+    | Ok inst ->
+      Obs.Metrics.incr (Obs.Metrics.global ()) "triage/replays";
+      Ok (k inst)
   in
   let ( let* ) = Result.bind in
   let* baseline =

@@ -70,11 +70,20 @@ let detect_once (inst : Detect.Racefuzzer.instance) ~seed :
   ignore (Conc.Exec.run inst.Detect.Racefuzzer.ri_machine sched);
   Detect.Lockset.candidates lockset
 
-let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
+let rec evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
     (t : Narada_core.Synth.test) : test_eval =
+  (* ~root: the (class, test) units run on Par worker domains; the span
+     path must not depend on the fan-out. *)
+  Obs.Span.with_ ~root:true "detect/test" (fun () -> evaluate_test_body opts an t)
+
+and evaluate_test_body (opts : options) (an : Narada_core.Pipeline.analysis)
+    (t : Narada_core.Synth.test) : test_eval =
+  let reg = Obs.Metrics.global () in
   let instantiate = Narada_core.Pipeline.instantiator an t in
   match instantiate () with
-  | Error _ -> { te_test = t; te_instantiated = false; te_races = [] }
+  | Error _ ->
+    Obs.Metrics.incr reg "detect/uninstantiable_tests";
+    { te_test = t; te_instantiated = false; te_races = [] }
   | Ok first ->
     (* Gather candidates over several schedules.  Every schedule is an
        independent seeded execution of a fresh instantiation, so with
@@ -98,6 +107,7 @@ let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
             | Error _ -> [])
     in
     List.iter (List.iter note) per_schedule;
+    Obs.Metrics.incr reg ~n:opts.opt_schedules "detect/schedules";
     (* Confirm and triage each candidate; confirmation runs fan out
        inside [Racefuzzer.confirm] with the same width. *)
     let candidates =
@@ -105,6 +115,7 @@ let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
         (fun (k1, _) (k2, _) -> Detect.Race.compare_key k1 k2)
         (Hashtbl.fold (fun k r acc -> (k, r) :: acc) tbl [])
     in
+    Obs.Metrics.incr reg ~n:(List.length candidates) "detect/candidates";
     let races =
       List.map
         (fun (k, r) ->
@@ -115,6 +126,7 @@ let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
               ()
           in
           let reproduced = confirm.Detect.Racefuzzer.confirmed <> None in
+          if reproduced then Obs.Metrics.incr reg "detect/reproduced";
           let verdict =
             if reproduced then
               match Detect.Triage.triage ~instantiate ~cand ~seed:opts.opt_seed () with
@@ -122,6 +134,10 @@ let evaluate_test (opts : options) (an : Narada_core.Pipeline.analysis)
               | Error _ -> None
             else None
           in
+          (match verdict with
+          | Some Detect.Triage.Harmful -> Obs.Metrics.incr reg "triage/harmful"
+          | Some Detect.Triage.Benign -> Obs.Metrics.incr reg "triage/benign"
+          | None -> ());
           { ro_key = k; ro_reproduced = reproduced; ro_verdict = verdict })
         candidates
     in
@@ -194,12 +210,12 @@ let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
   match analyze_entry ~static_filter:opts.opt_static_filter e with
   | Error err -> Error err
   | Ok (cu, an) ->
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.ticks () in
     let test_evals =
       List.map (evaluate_test opts an) an.Narada_core.Pipeline.an_tests
     in
-    let t1 = Unix.gettimeofday () in
-    Ok (assemble_class e cu an ~test_evals ~detect_seconds:(t1 -. t0))
+    let detect_seconds = Obs.Clock.elapsed_s ~since:t0 in
+    Ok (assemble_class e cu an ~test_evals ~detect_seconds)
 
 (* The parallel campaign: analyses run sequentially (they are cheap and
    memoize compilation), then every (class, test) detection unit — the
@@ -228,9 +244,9 @@ let evaluate_corpus ?(opts = default_options) ?(jobs = 1)
   in
   let evaluated =
     Par.map ~jobs items (fun (ci, an, t) ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.ticks () in
         let te = evaluate_test opts an t in
-        (ci, te, Unix.gettimeofday () -. t0))
+        (ci, te, Obs.Clock.elapsed_s ~since:t0))
   in
   List.mapi
     (fun ci (e, r) ->

@@ -322,8 +322,26 @@ let names =
 (* Oracles past the front-end need a compiled unit; if compilation
    itself fails the later oracles are reported as failing too (the
    typecheck oracle carries the diagnosis). *)
+
+(* Per-oracle span (~root: Crucible fans programs out over Par workers,
+   so paths must not depend on the fan-out).  Verdicts feed the
+   pass/fail counters the campaign summary draws on. *)
+let timed name f =
+  let v = Obs.Span.with_ ~root:true ("fuzz/oracle/" ^ name) f in
+  Obs.Metrics.incr
+    (Obs.Metrics.global ())
+    (match v with
+    | Pass -> "fuzz/oracle/" ^ name ^ "/pass"
+    | Fail _ -> "fuzz/oracle/" ^ name ^ "/fail");
+  (name, v)
+
 let check ?mutate ~seed program =
-  let front = [ ("roundtrip", roundtrip program); ("typecheck", typecheck program) ] in
+  let front =
+    [
+      timed "roundtrip" (fun () -> roundtrip program);
+      timed "typecheck" (fun () -> typecheck program);
+    ]
+  in
   match Jir.Compile.compile_source (Gen.to_source program) with
   | exception Jir.Diag.Error _ ->
     front
@@ -339,11 +357,15 @@ let check ?mutate ~seed program =
   | cu ->
     front
     @ [
-        ("vm-determinism", guarded (fun () -> vm_determinism ~seed cu));
-        ("detectors-agree", guarded (fun () -> detectors_agree ?mutate ~seed cu));
-        ("lockset-superset", guarded (fun () -> lockset_superset ?mutate ~seed cu));
-        ("static-superset", guarded (fun () -> static_superset ?mutate ~seed cu));
-        ("synthesis-replay", guarded (fun () -> synthesis_replay ~seed cu));
+        timed "vm-determinism" (fun () -> guarded (fun () -> vm_determinism ~seed cu));
+        timed "detectors-agree" (fun () ->
+            guarded (fun () -> detectors_agree ?mutate ~seed cu));
+        timed "lockset-superset" (fun () ->
+            guarded (fun () -> lockset_superset ?mutate ~seed cu));
+        timed "static-superset" (fun () ->
+            guarded (fun () -> static_superset ?mutate ~seed cu));
+        timed "synthesis-replay" (fun () ->
+            guarded (fun () -> synthesis_replay ~seed cu));
       ]
 
 let first_failure ?mutate ~seed program =

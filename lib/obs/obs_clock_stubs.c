@@ -1,0 +1,18 @@
+/* Monotonic clock for Obs.Clock.
+
+   The OCaml stdlib only exposes wall-clock time (Unix.gettimeofday),
+   which can jump backwards under NTP adjustment and produced negative
+   "durations" in the timing code this library replaces.  CLOCK_MONOTONIC
+   never goes backwards; resolution is nanoseconds. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value narada_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

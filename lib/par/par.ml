@@ -17,6 +17,12 @@ module Pool = struct
     queue : task Queue.t;
     mutable stop : bool;
     mutable workers : unit Domain.t list;
+    (* Scheduling facts (queue high-water mark, per-worker task counts,
+       time spent waiting for work).  Inherently job-count dependent, so
+       they are flushed as *volatile* gauges at shutdown. *)
+    mutable qdepth_hwm : int;
+    worker_tasks : int array;
+    worker_idle_ns : int64 array;
   }
 
   type 'a state = Pending | Done of 'a | Failed of exn
@@ -27,19 +33,23 @@ module Pool = struct
     mutable f_state : 'a state;
   }
 
-  let rec worker p =
+  let rec worker p i =
     Mutex.lock p.mu;
+    let wait0 = Obs.Clock.ticks () in
     while Queue.is_empty p.queue && not p.stop do
       Condition.wait p.nonempty p.mu
     done;
+    p.worker_idle_ns.(i) <-
+      Int64.add p.worker_idle_ns.(i) (Obs.Clock.elapsed_ns ~since:wait0);
     (* Drain the queue even when stopping: shutdown waits for every
        submitted task to have run. *)
     if Queue.is_empty p.queue then Mutex.unlock p.mu
     else begin
       let task = Queue.pop p.queue in
+      p.worker_tasks.(i) <- p.worker_tasks.(i) + 1;
       Mutex.unlock p.mu;
       task ();
-      worker p
+      worker p i
     end
 
   let create ~jobs =
@@ -52,9 +62,12 @@ module Pool = struct
         queue = Queue.create ();
         stop = false;
         workers = [];
+        qdepth_hwm = 0;
+        worker_tasks = Array.make jobs 0;
+        worker_idle_ns = Array.make jobs 0L;
       }
     in
-    p.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker p));
+    p.workers <- List.init jobs (fun i -> Domain.spawn (fun () -> worker p i));
     p
 
   let jobs p = p.jobs
@@ -74,6 +87,7 @@ module Pool = struct
       invalid_arg "Par.Pool.submit: pool is shut down"
     end;
     Queue.push task p.queue;
+    if Queue.length p.queue > p.qdepth_hwm then p.qdepth_hwm <- Queue.length p.queue;
     Condition.signal p.nonempty;
     Mutex.unlock p.mu;
     fut
@@ -101,7 +115,21 @@ module Pool = struct
     Mutex.unlock p.mu;
     let ws = p.workers in
     p.workers <- [];
-    List.iter Domain.join ws
+    List.iter Domain.join ws;
+    let reg = Obs.Metrics.global () in
+    Obs.Metrics.gauge_max reg "par/pool/queue_depth_hwm" (float_of_int p.qdepth_hwm);
+    Array.iteri
+      (fun i n ->
+        Obs.Metrics.gauge_add reg
+          (Printf.sprintf "par/pool/worker%d/tasks" i)
+          (float_of_int n))
+      p.worker_tasks;
+    Array.iteri
+      (fun i ns ->
+        Obs.Metrics.gauge_add reg
+          (Printf.sprintf "par/pool/worker%d/idle_s" i)
+          (Int64.to_float ns /. 1e9))
+      p.worker_idle_ns
 end
 
 let default_jobs () = Domain.recommended_domain_count ()

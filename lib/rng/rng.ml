@@ -1,0 +1,82 @@
+(* The one deterministic RNG for the whole system.
+
+   Every component that draws random numbers (the VM's [Sys.randInt],
+   the schedulers, the race-directed fuzzer, the ConTeGe baseline) used
+   to carry its own copy of a splitmix64 stream plus a `rem (logand z
+   max_int) n` bounded draw.  That draw is modulo-biased (the low
+   residues of a 63-bit stream are slightly over-represented whenever
+   [n] does not divide 2^63), and the copies had drifted: one of them
+   could even raise [Division_by_zero] on an empty pick.  This module is
+   the single shared implementation: one generator, one *unbiased*
+   bounded draw (Lemire-style rejection sampling over the full 64-bit
+   stream), and a [pick] that fails loudly on an empty list.
+
+   Two interfaces are provided over the same stream:
+   - a mutable generator [t] for callers that thread a generator value
+     (schedulers, test generators);
+   - pure [*_state] transformers over a bare [int64] state for callers
+     that store the state inline (the VM keeps one per thread so that
+     schedule order cannot perturb another thread's draws). *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 (Steele, Lea & Flood): the gamma walk is the state, the
+   output is the finalizer.  Returns (output, next state). *)
+let next_state (s : int64) : int64 * int64 =
+  let open Int64 in
+  let s = add s 0x9E3779B97F4A7C15L in
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (logxor z (shift_right_logical z 31), s)
+
+let bits t =
+  let z, s = next_state t.state in
+  t.state <- s;
+  z
+
+(* Unbiased draw in [0, bound) over the full unsigned 64-bit stream.
+   2^64 mod n values at the bottom of the range belong to an incomplete
+   block and are rejected; [unsigned_rem (neg n) n] computes that
+   threshold ((2^64 - n) mod n = 2^64 mod n).  At most one retry is
+   expected for any bound that fits in an int. *)
+let below_state (s : int64) (bound : int) : int * int64 =
+  if bound <= 0 then
+    invalid_arg (Printf.sprintf "Rng.below: non-positive bound %d" bound);
+  let n = Int64.of_int bound in
+  let threshold = Int64.unsigned_rem (Int64.neg n) n in
+  let rec draw s =
+    let z, s = next_state s in
+    if Int64.unsigned_compare z threshold >= 0 then
+      (Int64.to_int (Int64.unsigned_rem z n), s)
+    else draw s
+  in
+  draw s
+
+let below t bound =
+  let v, s = below_state t.state bound in
+  t.state <- s;
+  v
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (below t (List.length l))
+
+let bool t = below t 2 = 0
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: hi < lo";
+  lo + below t (hi - lo + 1)
+
+(* Derive an independent stream for a (base, index) pair: splitmix64
+   finalizer over base + (index+1) golden-ratio gammas.  Mirrors
+   [Par.seed] so fan-out seeding and local seeding agree. *)
+let derive ~base ~index =
+  let open Int64 in
+  let s = add base (mul (of_int (index + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)

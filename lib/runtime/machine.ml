@@ -64,20 +64,14 @@ let crash fmt = Format.kasprintf (fun m -> raise (Crash m)) fmt
 
 (* ---------------- construction ---------------- *)
 
-let splitmix64 (s : int64) : int64 * int64 =
-  let open Int64 in
-  let s = add s 0x9E3779B97F4A7C15L in
-  let z = s in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  let z = logxor z (shift_right_logical z 31) in
-  (z, s)
-
+(* Bounded draws go through the shared unbiased generator; the state
+   stays inline in the thread record so schedule order cannot perturb
+   another thread's stream. *)
 let rand_int (th : thread) ~bound =
   if bound <= 0 then crash "Sys.randInt: non-positive bound %d" bound;
-  let z, s = splitmix64 th.rng in
+  let v, s = Rng.below_state th.rng bound in
   th.rng <- s;
-  Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+  v
 
 let emit m ev =
   List.iter (fun f -> f ev) m.observers

@@ -16,34 +16,33 @@ type t = { entries : (int * entry) list }
 
 let canonical heap ~(roots : Value.t list) : t =
   let ids : (Value.addr, int) Hashtbl.t = Hashtbl.create 64 in
-  let entries = ref [] in
+  (* id -> entry; ids are dense visit-order indices, so the final list
+     is just a [List.init] over the table — filling a slot after its
+     children are visited is O(1) instead of rewriting an entries list. *)
+  let table : (int, entry) Hashtbl.t = Hashtbl.create 64 in
   let next = ref 0 in
+  let fresh e =
+    let id = !next in
+    incr next;
+    Hashtbl.replace table id e;
+    id
+  in
   (* Returns the node id for a value; primitive values get fresh leaf
      entries so the structure is uniform. *)
   let rec visit (v : Value.t) : int =
     match v with
     | Value.Vref a -> visit_addr a
     | Value.Vnull | Value.Vint _ | Value.Vbool _ | Value.Vstr _ ->
-      let id = !next in
-      incr next;
-      entries := (id, Eprim (Value.to_string v)) :: !entries;
-      id
-    | Value.Vthread _ ->
-      let id = !next in
-      incr next;
-      entries := (id, Eprim "<thread>") :: !entries;
-      id
+      fresh (Eprim (Value.to_string v))
+    | Value.Vthread _ -> fresh (Eprim "<thread>")
   and visit_addr a =
     match Hashtbl.find_opt ids a with
     | Some id -> id
     | None ->
-      let id = !next in
-      incr next;
-      Hashtbl.replace ids a id;
       (* Reserve the slot now so cycles terminate; fill it after
          visiting children. *)
-      let placeholder = (id, Eprim "<pending>") in
-      entries := placeholder :: !entries;
+      let id = fresh (Eprim "<pending>") in
+      Hashtbl.replace ids a id;
       let e =
         match (Heap.cell heap a).Heap.kind with
         | Heap.Kobject { cls; fields } | Heap.Kclassobj { cls; fields } ->
@@ -52,16 +51,28 @@ let canonical heap ~(roots : Value.t list) : t =
               (Hashtbl.fold (fun k _ acc -> k :: acc) fields [])
           in
           Eobj
-            (cls, List.map (fun f -> (f, visit (Hashtbl.find fields f))) names)
+            ( cls,
+              List.map
+                (fun f ->
+                  match Hashtbl.find_opt fields f with
+                  | Some v -> (f, visit v)
+                  | None ->
+                    (* [names] was read from this very table, so a miss
+                       means a concurrent mutation of the heap cell. *)
+                    invalid_arg
+                      (Printf.sprintf
+                         "Snapshot.canonical: field %s.%s vanished during \
+                          traversal"
+                         cls f))
+                names )
         | Heap.Karray { data; _ } ->
           Earr (Array.to_list (Array.map visit data))
       in
-      entries :=
-        List.map (fun (i, e') -> if i = id then (i, e) else (i, e')) !entries;
+      Hashtbl.replace table id e;
       id
   in
   List.iter (fun v -> ignore (visit v)) roots;
-  { entries = List.sort (fun (a, _) (b, _) -> Int.compare a b) !entries }
+  { entries = List.init !next (fun i -> (i, Hashtbl.find table i)) }
 
 let hash heap ~roots = Hashtbl.hash (canonical heap ~roots)
 

@@ -188,7 +188,14 @@ let site t ~qn ~cls ~array ~pos =
       { D.si_cls = cls; si_meth = qn; si_pos = pos; si_array = array };
     s
 
-let site_info t s = Hashtbl.find t.infos s
+let site_info t s =
+  match Hashtbl.find_opt t.infos s with
+  | Some info -> info
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Pointsto.site_info: unknown allocation site %d (have %d sites)" s
+         t.nsites)
 
 (* ---- evaluation (one fixed-order visit per occurrence per pass) ---- *)
 

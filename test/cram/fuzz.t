@@ -29,29 +29,34 @@ campaign is deterministic too, and exits non-zero.
     roundtrip              30      0
     typecheck              30      0
     vm-determinism         30      0
-    detectors-agree        23      7
+    detectors-agree        22      8
     lockset-superset       30      0
     static-superset        30      0
     synthesis-replay       30      0
-  VIOLATION at program #15 (oracle detectors-agree)
-    fasttrack={@3.f0} naive-hb={}
-    minimal counterexample (size 163 -> 17 in 15 shrink steps):
+  VIOLATION at program #3 (oracle detectors-agree)
+    fasttrack={@3.f1} naive-hb={}
+    minimal counterexample (size 179 -> 31 in 21 shrink steps):
   class A {
     int f0;
-    void m1() {
-      this.f0 = 1;
+    int f1;
+    void m0() {
+      int v0 = -(9 + this.f1);
+    }
+    synchronized int m2() {
+      this.f1 = -this.f0;
+      return 1 + 3;
     }
   }
   
   class Main {
     static void main() {
       A s0 = new A();
-      thread t2 = spawn s0.m1();
-      join t2;
-      s0.m1();
+      thread t1 = spawn s0.m0();
+      join t1;
+      int r1 = s0.m2();
     }
   }
-  (6 further violating programs: #16, #17, #18, #20, #25, #28)
+  (7 further violating programs: #15, #16, #17, #18, #20, #25, #28)
   [1]
 
   $ narada fuzz --smoke --seed 42 --jobs 1 --mutate drop-join > mutated1.out

@@ -1,0 +1,60 @@
+The stable section of a metrics export is byte-identical for every
+--jobs value; only the meta line (timestamp) and volatile lines
+(timings, pool gauges) may differ.
+
+  $ narada detect C9 --metrics-out m1.json --jobs 1 > /dev/null
+  $ narada detect C9 --metrics-out m2.json --jobs 2 > /dev/null
+  $ narada detect C9 --metrics-out m4.json --jobs 4 > /dev/null
+  $ grep '"kind": "stable"' m1.json > s1
+  $ grep '"kind": "stable"' m2.json > s2
+  $ grep '"kind": "stable"' m4.json > s4
+  $ diff s1 s2 && diff s1 s4 && echo identical
+  identical
+
+The stable section carries the detection campaign's schedule-independent
+facts: counters, racefuzzer histograms, and span call counts.
+
+  $ cat s1
+  {"kind": "stable", "type": "counter", "name": "detect/candidates", "value": 10}
+  {"kind": "stable", "type": "counter", "name": "detect/reproduced", "value": 8}
+  {"kind": "stable", "type": "counter", "name": "detect/schedules", "value": 30}
+  {"kind": "stable", "type": "counter", "name": "triage/benign", "value": 2}
+  {"kind": "stable", "type": "counter", "name": "triage/harmful", "value": 6}
+  {"kind": "stable", "type": "counter", "name": "triage/replays", "value": 32}
+  {"kind": "stable", "type": "histogram", "name": "pipeline#pairs", "count": 1, "sum": 10, "min": 10, "max": 10}
+  {"kind": "stable", "type": "histogram", "name": "pipeline#tests", "count": 1, "sum": 10, "min": 10, "max": 10}
+  {"kind": "stable", "type": "histogram", "name": "pipeline#trace_events", "count": 1, "sum": 164, "min": 164, "max": 164}
+  {"kind": "stable", "type": "histogram", "name": "racefuzzer/postponed_max", "count": 20, "sum": 22, "min": 0, "max": 2}
+  {"kind": "stable", "type": "histogram", "name": "racefuzzer/runs_to_confirm", "count": 8, "sum": 8, "min": 1, "max": 1}
+  {"kind": "stable", "type": "histogram", "name": "racefuzzer/steps", "count": 20, "sum": 490, "min": 1, "max": 36}
+  {"kind": "stable", "type": "span", "path": "detect/test", "calls": 10}
+  {"kind": "stable", "type": "span", "path": "pipeline", "calls": 1}
+  {"kind": "stable", "type": "span", "path": "pipeline/analyze", "calls": 1}
+  {"kind": "stable", "type": "span", "path": "pipeline/pairs", "calls": 1}
+  {"kind": "stable", "type": "span", "path": "pipeline/synth", "calls": 1}
+  {"kind": "stable", "type": "span", "path": "pipeline/synth/context", "calls": 20}
+  {"kind": "stable", "type": "span", "path": "pipeline/trace", "calls": 1}
+
+The meta line identifies the producing command, and the volatile
+section (stripped above) carries span durations:
+
+  $ sed -E 's/"unix_ms": [0-9]+/"unix_ms": T/' m4.json | head -1
+  {"kind": "meta", "schema": "narada.metrics/1", "unix_ms": T, "cmd": "detect", "corpus": "C9", "jobs": 4}
+  $ grep -c '"type": "span_ns"' m4.json
+  7
+
+narada profile prints a per-stage breakdown for all nine classes; the
+count columns are deterministic, timings are masked:
+
+  $ narada profile | sed -E 's/ +[0-9]+\.[0-9]{2}/ MS/g'
+  Cls   events  pairs  tests |  trace_ms analyze_ms  pairs_ms  context_ms  synth_ms  total_ms
+  -------------------------------------------------------------------------------------------------
+  C1       423    105     31 | MS MS MS MS MS MS
+  C2       853    110     69 | MS MS MS MS MS MS
+  C3       389     29     22 | MS MS MS MS MS MS
+  C4      1263     80     42 | MS MS MS MS MS MS
+  C5       919    603    185 | MS MS MS MS MS MS
+  C6      1959    174    109 | MS MS MS MS MS MS
+  C7       396     13     11 | MS MS MS MS MS MS
+  C8       170     28     24 | MS MS MS MS MS MS
+  C9       164     10     10 | MS MS MS MS MS MS

@@ -106,6 +106,55 @@ let test_arrays_in_snapshot () =
   let s2 = Snapshot.canonical (Machine.heap m) ~roots:[ a ] in
   Alcotest.(check bool) "array mutation visible" false (s1 = s2)
 
+(* Regression: [canonical] used to rewrite the whole entries list once
+   per visited node (O(n^2)); a 20k-node list made triage unusable.
+   The budget below is generous for the fixed table-based version and
+   hopeless for the quadratic one. *)
+let large_list_heap n =
+  let m = build_machine pair_src in
+  let heap = Machine.heap m in
+  let nodes =
+    Array.init n (fun i -> construct m ~cls:"P" ~args:[ Value.Vint i ])
+  in
+  Array.iteri
+    (fun i v ->
+      if i + 1 < n then
+        match Value.addr_of v with
+        | Some a -> Heap.set_field heap a "next" nodes.(i + 1)
+        | None -> Alcotest.fail "no addr")
+    nodes;
+  (heap, nodes)
+
+let test_large_heap_subquadratic () =
+  let n = 20_000 in
+  let heap, nodes = large_list_heap n in
+  let t0 = Obs.Clock.ticks () in
+  let s = Snapshot.canonical heap ~roots:[ nodes.(0) ] in
+  let elapsed = Obs.Clock.elapsed_s ~since:t0 in
+  Alcotest.(check bool) "all nodes reached" true
+    (String.length (Snapshot.to_string s) > n);
+  Alcotest.(check bool)
+    (Printf.sprintf "canonicalized %d nodes in %.2fs (< 5s)" n elapsed)
+    true (elapsed < 5.0)
+
+let test_large_cyclic_heap () =
+  let n = 20_000 in
+  let heap, nodes = large_list_heap n in
+  (* close the loop and add a chord back to the middle *)
+  (match (Value.addr_of nodes.(n - 1), Value.addr_of nodes.(n / 2)) with
+  | Some last, Some mid ->
+    Heap.set_field heap last "next" nodes.(0);
+    Heap.set_field heap mid "next" nodes.(0)
+  | _ -> Alcotest.fail "no addrs");
+  let t0 = Obs.Clock.ticks () in
+  let s1 = Snapshot.canonical heap ~roots:[ nodes.(0) ] in
+  let s2 = Snapshot.canonical heap ~roots:[ nodes.(0) ] in
+  let elapsed = Obs.Clock.elapsed_s ~since:t0 in
+  Alcotest.(check bool) "cyclic snapshot stable" true (s1 = s2);
+  Alcotest.(check bool)
+    (Printf.sprintf "cyclic %d nodes in %.2fs (< 5s)" n elapsed)
+    true (elapsed < 5.0)
+
 let test_thread_handles_opaque () =
   (* thread ids must not leak into snapshots *)
   let m = build_machine pair_src in
@@ -129,6 +178,9 @@ let () =
           Alcotest.test_case "cycles" `Quick test_cycles_terminate;
           Alcotest.test_case "sharing" `Quick test_sharing_sensitive;
           Alcotest.test_case "arrays" `Quick test_arrays_in_snapshot;
+          Alcotest.test_case "large heap subquadratic" `Quick
+            test_large_heap_subquadratic;
+          Alcotest.test_case "large cyclic heap" `Quick test_large_cyclic_heap;
           Alcotest.test_case "thread handles" `Quick test_thread_handles_opaque;
         ] );
     ]
