@@ -4,6 +4,8 @@
      dune exec bench/main.exe                      # tables + timing
      dune exec bench/main.exe -- quick             # tables only
      dune exec bench/main.exe -- quick --jobs 4    # parallel campaign
+     dune exec bench/main.exe -- sweep             # jobs=1/2/4/8 scaling curve
+     dune exec bench/main.exe -- par-smoke         # CI inversion guard
 
    The campaign fans out over a domain pool (--jobs, default
    Domain.recommended_domain_count); tables are bit-identical for every
@@ -123,9 +125,11 @@ let read_bench_parallel () : (int * float) list =
 
 (* BENCH files share the observability export schema: one meta line,
    then one gauge line per jobs configuration. *)
-let write_bench_parallel ~jobs ~wall_s =
+let write_bench_parallel_configs new_configs =
   let configs =
-    ((jobs, wall_s) :: List.remove_assoc jobs (read_bench_parallel ()))
+    List.fold_left
+      (fun acc (j, w) -> (j, w) :: List.remove_assoc j acc)
+      (read_bench_parallel ()) new_configs
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   let baseline = List.assoc_opt 1 configs in
@@ -158,8 +162,15 @@ let write_bench_parallel ~jobs ~wall_s =
                ());
           output_char oc '\n')
         configs);
-  Printf.printf "wrote %s (campaign wall-clock at jobs=%d: %.2fs)\n\n"
-    bench_parallel_file jobs wall_s
+  List.iter
+    (fun (j, w) ->
+      Printf.printf "wrote %s (campaign wall-clock at jobs=%d: %.2fs)\n"
+        bench_parallel_file j w)
+    new_configs;
+  print_newline ()
+
+let write_bench_parallel ~jobs ~wall_s =
+  write_bench_parallel_configs [ (jobs, wall_s) ]
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_static.json: wall-clock of the open-world static race          *)
@@ -191,7 +202,8 @@ let static_bench () =
     !best
   in
   let counts = analyze_all ~jobs:1 in
-  let w1 = wall_at 1 and w4 = wall_at 4 in
+  let walls = List.map (fun j -> (j, wall_at j)) [ 1; 2; 4; 8 ] in
+  let w1 = List.assoc 1 walls in
   let oc = open_out bench_static_file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -227,10 +239,17 @@ let static_bench () =
                ]
              ())
       in
-      config ~jobs:1 ~w:w1 ~speedup:1.0;
-      config ~jobs:4 ~w:w4 ~speedup:(if w4 > 0.0 then w1 /. w4 else 1.0));
-  Printf.printf "wrote %s (static analyzer wall-clock: %.1fms at jobs=1, %.1fms at jobs=4)\n\n"
-    bench_static_file (1000.0 *. w1) (1000.0 *. w4)
+      List.iter
+        (fun (j, w) ->
+          config ~jobs:j ~w
+            ~speedup:(if j <> 1 && w > 0.0 then w1 /. w else 1.0))
+        walls);
+  Printf.printf "wrote %s (static analyzer wall-clock: %s)\n\n"
+    bench_static_file
+    (String.concat ", "
+       (List.map
+          (fun (j, w) -> Printf.sprintf "%.1fms at jobs=%d" (1000.0 *. w) j)
+          walls))
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler shootout: how often does each scheduler expose the C1      *)
@@ -414,6 +433,92 @@ let run_bechamel () =
         (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
     results
 
+(* ------------------------------------------------------------------ *)
+(* sweep: time the full campaign at jobs=1/2/4/8 and record every       *)
+(* configuration in BENCH_parallel.json (plus BENCH_static.json) in one *)
+(* run, so the scaling curve is regenerated atomically.                 *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_wall ~jobs =
+  let t0 = Obs.Clock.ticks () in
+  let evals = Eval.Evaluate.evaluate_corpus ~jobs Corpus.Registry.all in
+  List.iter
+    (fun ((e : Corpus.Corpus_def.entry), r) ->
+      match r with
+      | Ok _ -> ()
+      | Error msg ->
+        Printf.eprintf "bench: %s failed: %s\n" e.Corpus.Corpus_def.e_id msg)
+    evals;
+  Obs.Clock.elapsed_s ~since:t0
+
+let sweep () =
+  Printf.printf
+    "campaign sweep: full detection campaign at jobs=1/2/4/8 \
+     (max_domains=%d, effective width is clamped to it)\n%!"
+    (Par.max_domains ());
+  (* Warm the compile cache so the jobs=1 run is not charged for it. *)
+  Corpus.Registry.warm_all ();
+  let configs =
+    List.map
+      (fun j ->
+        (* best of two: one seconds-scale sample swings by 10-20% *)
+        let w = Float.min (campaign_wall ~jobs:j) (campaign_wall ~jobs:j) in
+        Printf.printf "  jobs=%d: %.2fs\n%!" j w;
+        (j, w))
+      [ 1; 2; 4; 8 ]
+  in
+  write_bench_parallel_configs configs;
+  static_bench ()
+
+(* ------------------------------------------------------------------ *)
+(* par-smoke: CI guard against the parallel-slower-than-sequential      *)
+(* inversion.  Times a three-class campaign at jobs=1 and jobs=2 and    *)
+(* fails when the speedup drops below a threshold:                      *)
+(* NARADA_SMOKE_MIN_SPEEDUP if set, else 1.0 on multi-core hosts and    *)
+(* 0.8 (parity within noise; width is clamped to 1) on single-core.     *)
+(* ------------------------------------------------------------------ *)
+
+let par_smoke () =
+  let entries = List.filter_map Corpus.Registry.find [ "C1"; "C3"; "C9" ] in
+  Corpus.Registry.warm entries;
+  let wall ~jobs =
+    (* best of two: a seconds-scale sample on a shared CI runner is
+       noisy enough to flip a parity check *)
+    let once () =
+      let t0 = Obs.Clock.ticks () in
+      ignore (Eval.Evaluate.evaluate_corpus ~jobs entries);
+      Obs.Clock.elapsed_s ~since:t0
+    in
+    Float.min (once ()) (once ())
+  in
+  let w1 = wall ~jobs:1 in
+  let w2 = wall ~jobs:2 in
+  let speedup = if w2 > 0.0 then w1 /. w2 else 1.0 in
+  let md = Par.max_domains () in
+  let threshold =
+    match
+      Option.bind (Sys.getenv_opt "NARADA_SMOKE_MIN_SPEEDUP") float_of_string_opt
+    with
+    | Some t -> t
+    | None -> if md > 1 then 1.0 else 0.8
+  in
+  Printf.printf
+    "par-smoke: jobs=1 %.2fs, jobs=2 %.2fs, speedup %.2fx (max_domains=%d, \
+     threshold %.2f)\n"
+    w1 w2 speedup md threshold;
+  if md <= 1 then
+    print_endline
+      "par-smoke: single-core host; fan-out width is clamped to 1, so this \
+       checks clamping overhead, not scaling.";
+  if speedup < threshold then begin
+    Printf.eprintf
+      "par-smoke: FAIL -- jobs=2 is slower than allowed (speedup %.2fx < \
+       %.2fx)\n"
+      speedup threshold;
+    exit 1
+  end;
+  print_endline "par-smoke: OK"
+
 let parse_jobs argv =
   let jobs = ref (Par.default_jobs ()) in
   Array.iteri
@@ -428,11 +533,16 @@ let parse_jobs argv =
   !jobs
 
 let () =
-  let quick = Array.exists (String.equal "quick") Sys.argv in
-  let jobs = parse_jobs Sys.argv in
-  let evals, wall_s = regenerate_tables ~with_contege:true ~jobs in
-  ignore (evals : Eval.Evaluate.class_eval list);
-  write_bench_parallel ~jobs ~wall_s;
-  static_bench ();
-  scheduler_shootout ();
-  if not quick then run_bechamel ()
+  let has s = Array.exists (String.equal s) Sys.argv in
+  if has "par-smoke" then par_smoke ()
+  else if has "sweep" then sweep ()
+  else begin
+    let quick = has "quick" in
+    let jobs = parse_jobs Sys.argv in
+    let evals, wall_s = regenerate_tables ~with_contege:true ~jobs in
+    ignore (evals : Eval.Evaluate.class_eval list);
+    write_bench_parallel ~jobs ~wall_s;
+    static_bench ();
+    scheduler_shootout ();
+    if not quick then run_bechamel ()
+  end

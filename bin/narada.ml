@@ -260,6 +260,9 @@ let lint_cmd =
   in
   let run file corpus all jobs =
     if all then begin
+      (* Compile sequentially up front: the fan-out below then reads the
+         registry's published snapshot without ever taking a lock. *)
+      Corpus.Registry.warm Corpus.Registry.all;
       let blocks =
         Par.map ~jobs:(max 1 jobs) Corpus.Registry.all (fun e ->
             let cu = Corpus.Registry.compiled_unit e in

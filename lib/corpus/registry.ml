@@ -28,21 +28,65 @@ let ids = List.map (fun (e : Corpus_def.entry) -> e.Corpus_def.e_id) all
 
 (* Shared compile cache: corpus sources are fixed, so every consumer
    (CLI, tests, bench, evaluation) can reuse one compiled unit per
-   entry.  Guarded by a mutex — the evaluation campaign calls in from
-   worker domains. *)
-let compile_mu = Mutex.create ()
-let compile_cache : (string, Jir.Code.unit_) Hashtbl.t = Hashtbl.create 16
+   entry.
 
-let compiled_unit (e : Corpus_def.entry) : Jir.Code.unit_ =
-  Mutex.lock compile_mu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock compile_mu)
-    (fun () ->
-      match Hashtbl.find_opt compile_cache e.Corpus_def.e_id with
-      | Some cu -> cu
-      | None ->
-        (* Compiling inside the lock keeps a racing pair of domains from
-           doing the work twice; compilation is fast and deterministic. *)
-        let cu = Jir.Compile.compile_source e.Corpus_def.e_source in
-        Hashtbl.replace compile_cache e.Corpus_def.e_id cu;
-        cu)
+   The steady state is a lock-free read: compiled units are published
+   into an immutable map held in an [Atomic], so worker domains on the
+   campaign hot path never touch a lock (the previous version compiled
+   *inside* a global mutex, and at jobs=4 every domain convoyed on it).
+   The slow path keeps "compile at most once" semantics by claiming an
+   in-progress marker under [compile_mu], compiling *outside* the lock,
+   and publishing under the lock; racing domains wait on the condvar
+   instead of recompiling. *)
+module SMap = Map.Make (String)
+
+let published : Jir.Code.unit_ SMap.t Atomic.t = Atomic.make SMap.empty
+let compile_mu = Mutex.create ()
+let compile_done = Condition.create ()
+let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let rec compiled_unit (e : Corpus_def.entry) : Jir.Code.unit_ =
+  let id = e.Corpus_def.e_id in
+  match SMap.find_opt id (Atomic.get published) with
+  | Some cu -> cu (* lock-free fast path *)
+  | None ->
+    Mutex.lock compile_mu;
+    (* Double-check under the lock: a racing domain may have published
+       while we were acquiring it. *)
+    (match SMap.find_opt id (Atomic.get published) with
+    | Some cu ->
+      Mutex.unlock compile_mu;
+      cu
+    | None ->
+      if Hashtbl.mem in_progress id then begin
+        (* Another domain is compiling this entry: wait for any publish
+           and retry rather than doing the work twice. *)
+        Condition.wait compile_done compile_mu;
+        Mutex.unlock compile_mu;
+        compiled_unit e
+      end
+      else begin
+        Hashtbl.replace in_progress id ();
+        Mutex.unlock compile_mu;
+        let cu =
+          try Jir.Compile.compile_source e.Corpus_def.e_source
+          with exn ->
+            Mutex.lock compile_mu;
+            Hashtbl.remove in_progress id;
+            Condition.broadcast compile_done;
+            Mutex.unlock compile_mu;
+            raise exn
+        in
+        Mutex.lock compile_mu;
+        Hashtbl.remove in_progress id;
+        (* Writers are serialized by [compile_mu], so a plain store of
+           the extended map is enough for readers' Atomic.get. *)
+        Atomic.set published (SMap.add id cu (Atomic.get published));
+        Condition.broadcast compile_done;
+        Mutex.unlock compile_mu;
+        cu
+      end)
+
+let warm entries = List.iter (fun e -> ignore (compiled_unit e)) entries
+
+let warm_all () = warm (all @ extras)

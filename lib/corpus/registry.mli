@@ -14,6 +14,17 @@ val ids : string list
 
 val compiled_unit : Corpus_def.entry -> Jir.Code.unit_
 (** Memoized compilation of an entry's source, shared by the CLI,
-    tests, bench and the evaluation harness.  Domain-safe.  Raises
-    [Jir.Diag.Error] like {!Jir.Compile.compile_source} on the (never
-    expected) failure to compile a corpus source. *)
+    tests, bench and the evaluation harness.  Domain-safe and
+    contention-free in the steady state: published units are read from
+    an immutable snapshot without locking, compilation happens outside
+    the publication lock, and "compile at most once" is preserved.
+    Raises [Jir.Diag.Error] like {!Jir.Compile.compile_source} on the
+    (never expected) failure to compile a corpus source. *)
+
+val warm : Corpus_def.entry list -> unit
+(** Pre-compile the given entries (sequentially, on the calling
+    domain).  Campaign entry points call this before fanning out so
+    worker domains only ever take the lock-free read path. *)
+
+val warm_all : unit -> unit
+(** {!warm} over [all] and [extras]. *)

@@ -227,6 +227,14 @@ let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
 let evaluate_corpus ?(opts = default_options) ?(jobs = 1)
     (entries : Corpus.Corpus_def.entry list) :
     (Corpus.Corpus_def.entry * (class_eval, string) result) list =
+  (* Pre-warm the shared compile cache before any fan-out so worker
+     domains only ever take the registry's lock-free read path.  A
+     failing compile is not dropped here: [analyze_entry] below reports
+     it per entry. *)
+  List.iter
+    (fun e ->
+      try ignore (Corpus.Registry.compiled_unit e) with Jir.Diag.Error _ -> ())
+    entries;
   let analyzed =
     List.map
       (fun e -> (e, analyze_entry ~static_filter:opts.opt_static_filter e))

@@ -143,13 +143,19 @@ let run_multithreaded ?mutate ~seed cu : mt_run =
         Runtime.Machine.add_observer m (Lockset.observer ls))
       (Conc.Scheduler.random ~seed:(sched_seed seed))
   in
-  {
-    mt_trace = Runtime.Trace.snapshot recorder;
-    mt_ft_reports = Fasttrack.reports ft;
-    mt_ft_vars = vars_of_reports (Fasttrack.reports ft);
-    mt_djit_vars = vars_of_reports (Djit.reports dj);
-    mt_lockset_vars = vars_of_reports (Lockset.candidates ls);
-  }
+  let r =
+    {
+      mt_trace = Runtime.Trace.snapshot recorder;
+      mt_ft_reports = Fasttrack.reports ft;
+      mt_ft_vars = vars_of_reports (Fasttrack.reports ft);
+      mt_djit_vars = vars_of_reports (Djit.reports dj);
+      mt_lockset_vars = vars_of_reports (Lockset.candidates ls);
+    }
+  in
+  (* The machine is dropped here, so its backing chunks can feed the
+     next execution on this domain. *)
+  Runtime.Trace.recycle recorder;
+  r
 
 (* ---- individual oracles ---- *)
 
@@ -181,11 +187,15 @@ let vm_determinism ~seed cu =
           Runtime.Machine.add_observer m (Runtime.Trace.observer recorder))
         (Conc.Scheduler.random ~seed:(sched_seed seed))
     in
-    ( res.Conc.Exec.outcome,
-      res.Conc.Exec.steps,
-      res.Conc.Exec.crashes,
-      Runtime.Machine.output m,
-      Runtime.Trace.to_string (Runtime.Trace.snapshot recorder) )
+    let out =
+      ( res.Conc.Exec.outcome,
+        res.Conc.Exec.steps,
+        res.Conc.Exec.crashes,
+        Runtime.Machine.output m,
+        Runtime.Trace.to_string (Runtime.Trace.snapshot recorder) )
+    in
+    Runtime.Trace.recycle recorder;
+    out
   in
   let (o1, s1, c1, out1, t1) = run () in
   let (o2, s2, c2, out2, t2) = run () in

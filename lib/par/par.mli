@@ -1,20 +1,28 @@
-(** Multicore evaluation engine: a fixed-size [Domain]-based worker
-    pool with futures, and a deterministic fan-out/merge combinator.
+(** Multicore evaluation engine: a sharded work-stealing [Domain] pool
+    and a deterministic fan-out/merge combinator.
 
     The evaluation campaign (§5) is embarrassingly parallel — every
     corpus class, every synthesized test and every schedule/confirmation
     run is an independent seeded VM execution.  [map] distributes such
     work across domains while keeping the result *bit-identical*
-    regardless of the job count: tasks carry their input index, results
-    are merged back in input order, and seeds are derived per-index with
-    {!seed} rather than from any shared mutable generator. *)
+    regardless of the job count: inputs are split into index chunks,
+    result [i] is written for input [i] whatever worker ran it, and
+    seeds are derived per-index with {!seed} rather than from any
+    shared mutable generator. *)
 
-(** A fixed-size pool of worker domains consuming a shared task queue. *)
+(** A fixed-size pool of worker domains.  Each worker owns a deque of
+    tasks: the owner pops LIFO, idle workers steal FIFO from victims
+    probed in seeded-random order, and an idle pool parks on a condvar
+    (a sleeping domain does not stall minor collections).  Scheduling
+    facts (queue high-water mark, steal counts, per-worker executed
+    chunk/task counts, idle time) are flushed to the global metrics
+    registry as volatile gauges at shutdown. *)
 module Pool : sig
   type t
 
   type 'a future
-  (** A handle for a submitted task's eventual result. *)
+  (** A handle for a submitted task's eventual result.  Futures share
+      their pool's completion mutex/condvar — no per-future lock. *)
 
   val create : jobs:int -> t
   (** [create ~jobs] spawns [max 1 jobs] worker domains. *)
@@ -22,7 +30,8 @@ module Pool : sig
   val jobs : t -> int
 
   val submit : t -> (unit -> 'a) -> 'a future
-  (** Enqueue a task.  Raises [Invalid_argument] after [shutdown]. *)
+  (** Enqueue a task (round-robin over the worker deques).  Raises
+      [Invalid_argument] after [shutdown]. *)
 
   val await : 'a future -> 'a
   (** Block until the task has run; re-raises the task's exception.
@@ -30,24 +39,46 @@ module Pool : sig
       (the worker would wait on itself). *)
 
   val shutdown : t -> unit
-  (** Drain the queue, then join every worker domain.  Idempotent. *)
+  (** Drain the deques, join every worker domain, and flush the pool's
+      scheduling gauges ([par/pool/steals], [par/pool/chunks],
+      [par/pool/queue_depth_hwm], per-worker tasks/chunks/idle) to the
+      global registry.  Idempotent. *)
 end
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val max_domains : unit -> int
+(** The fan-out width cap applied by {!map}/{!mapi}: requesting more
+    worker domains than cores is counter-productive (OCaml minor
+    collections are stop-the-world across every running domain), so
+    the effective width is [min jobs (max_domains ())].  Defaults to
+    [Domain.recommended_domain_count ()]; override with
+    {!set_max_domains} or the NARADA_PAR_MAX_DOMAINS environment
+    variable. *)
+
+val set_max_domains : int -> unit
+(** Raise or lower the {!max_domains} cap (clamped to [>= 1]).  Used by
+    tests to exercise genuine multi-domain merging on small machines,
+    and by operators who know better than the default. *)
+
 val seed : base:int64 -> index:int -> int64
 (** Deterministic per-index seed derivation (splitmix64 finalizer over
     [base] and [index]); independent of job count and submission order. *)
 
-val map : ?jobs:int -> 'a list -> ('a -> 'b) -> 'b list
+val map : ?jobs:int -> ?chunk:int -> 'a list -> ('a -> 'b) -> 'b list
 (** [map ~jobs xs f] applies [f] to every element on a private pool of
-    [jobs] workers (default {!default_jobs}) and returns the results in
-    input order.  With [jobs = 1] (or a short list) no domain is
+    [min jobs (max_domains ())] workers (default {!default_jobs}) and
+    returns the results in input order.  Inputs are submitted as index
+    chunks of [?chunk] elements (default: the granularity heuristic
+    [max 1 (n / (8 * width))], ~8 chunks per worker) and a single
+    completion latch synchronizes the fan-out — no per-element future.
+    With an effective width of 1 (or a short list) no domain is
     spawned and this is [List.map].  If tasks raise, the exception of
-    the smallest input index is re-raised after the pool is shut down —
-    output (and failure) is deterministic regardless of [jobs]. *)
+    the smallest failing input index is re-raised after the pool is
+    shut down — output (and failure) is deterministic regardless of
+    [jobs]. *)
 
-val mapi : ?jobs:int -> 'a list -> (int -> 'a -> 'b) -> 'b list
+val mapi : ?jobs:int -> ?chunk:int -> 'a list -> (int -> 'a -> 'b) -> 'b list
 (** Like {!map} but the function also receives the input index — the
     hook for per-index seed derivation. *)

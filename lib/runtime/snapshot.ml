@@ -14,12 +14,38 @@ type entry =
 
 type t = { entries : (int * entry) list }
 
+(* Triage calls [canonical] once per replayed execution; reusing one
+   pair of scratch hashtables per domain (cleared, not re-allocated)
+   keeps their grown bucket arrays across calls and cuts per-task GC
+   pressure on Par worker domains.  The [sc_busy] flag guards against
+   reentrant use (none exists today) by falling back to fresh tables. *)
+type scratch = {
+  sc_ids : (Value.addr, int) Hashtbl.t;
+  sc_table : (int, entry) Hashtbl.t;
+  mutable sc_busy : bool;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { sc_ids = Hashtbl.create 64; sc_table = Hashtbl.create 64; sc_busy = false })
+
 let canonical heap ~(roots : Value.t list) : t =
-  let ids : (Value.addr, int) Hashtbl.t = Hashtbl.create 64 in
+  let sc = Domain.DLS.get scratch_key in
+  let ids, table, release =
+    if sc.sc_busy then
+      ((Hashtbl.create 64 : (Value.addr, int) Hashtbl.t), Hashtbl.create 64, ignore)
+    else begin
+      sc.sc_busy <- true;
+      (* [clear] keeps the grown bucket arrays, unlike [reset]. *)
+      Hashtbl.clear sc.sc_ids;
+      Hashtbl.clear sc.sc_table;
+      (sc.sc_ids, sc.sc_table, fun (_ : unit) -> sc.sc_busy <- false)
+    end
+  in
+  Fun.protect ~finally:release @@ fun () ->
   (* id -> entry; ids are dense visit-order indices, so the final list
      is just a [List.init] over the table — filling a slot after its
      children are visited is O(1) instead of rewriting an entries list. *)
-  let table : (int, entry) Hashtbl.t = Hashtbl.create 64 in
   let next = ref 0 in
   let fresh e =
     let id = !next in

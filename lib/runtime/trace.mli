@@ -24,6 +24,14 @@ val recorded : recorder -> int
 val snapshot : recorder -> t
 (** The events recorded so far, in order. *)
 
+val recycle : recorder -> unit
+(** Return the recorder's default-size backing chunks to a per-domain
+    free list (used by later recorders on the same domain) and reset it
+    to empty.  Only safe once nothing will append to this recorder any
+    more — i.e. the machine it observed has been dropped or will not be
+    stepped again.  Custom [chunk_size] recorders are reset but their
+    chunks are not pooled. *)
+
 val length : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -2,6 +2,11 @@
    combinator, per-index seed derivation, the chunked trace recorder,
    and cross-job-count determinism of the evaluation campaign. *)
 
+(* Force real multi-domain execution even on single-core hosts: the
+   core-count clamp would otherwise route every map through the
+   sequential path and leave the pool untested. *)
+let () = Par.set_max_domains 8
+
 let test_map_matches_sequential () =
   let xs = List.init 100 Fun.id in
   let f x = (x * x) + 3 in
@@ -29,6 +34,60 @@ let test_map_deterministic_failure () =
     | _ -> Alcotest.fail "expected a failure"
     | exception Failure msg -> Alcotest.(check string) "first failing index" "1" msg
   done
+
+let test_mapi_deterministic_across_widths () =
+  let xs = List.init 1000 (fun i -> (i * 17) mod 101) in
+  let f i x = (i * 31) lxor (x * x) in
+  let expected = List.mapi f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d = List.mapi" jobs)
+        expected (Par.mapi ~jobs xs f))
+    [ 1; 2; 4; 8 ];
+  (* Explicit granularity, from one-element chunks to one chunk. *)
+  Alcotest.(check (list int)) "chunk=1" expected (Par.mapi ~jobs:4 ~chunk:1 xs f);
+  Alcotest.(check (list int)) "chunk>n" expected (Par.mapi ~jobs:4 ~chunk:5000 xs f)
+
+let test_smallest_failing_index_chunked () =
+  (* Every index >= 37 fails; whichever chunks finish first, the
+     surfaced exception must be index 37's. *)
+  let xs = List.init 100 Fun.id in
+  let f i = if i >= 37 then failwith (string_of_int i) else i in
+  List.iter
+    (fun (jobs, chunk) ->
+      match Par.map ~jobs ?chunk xs f with
+      | _ -> Alcotest.fail "expected a failure"
+      | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "jobs=%d chunk=%s" jobs
+             (match chunk with Some c -> string_of_int c | None -> "auto"))
+          "37" msg)
+    [ (2, None); (4, None); (4, Some 1); (8, Some 5) ]
+
+let test_stress_tiny_tasks () =
+  (* 10k near-empty tasks: dominated by scheduler overhead, so this is
+     the hot path for chunk batching and deque contention. *)
+  let n = 10_000 in
+  let xs = List.init n Fun.id in
+  let got = Par.map ~jobs:4 xs (fun x -> x + 1) in
+  Alcotest.(check int) "length" n (List.length got);
+  Alcotest.(check bool) "values" true (got = List.init n (fun i -> i + 1))
+
+let test_edge_empty_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Par.map ~jobs:4 [] Fun.id);
+  Alcotest.(check (list int)) "singleton" [ 99 ]
+    (Par.map ~jobs:4 [ 42 ] (fun x -> x + 57));
+  Alcotest.(check (list int)) "two" [ 1; 2 ] (Par.map ~jobs:8 [ 0; 1 ] succ)
+
+let test_max_domains_clamp () =
+  Par.set_max_domains 1;
+  Fun.protect ~finally:(fun () -> Par.set_max_domains 8) @@ fun () ->
+  Alcotest.(check int) "max_domains override" 1 (Par.max_domains ());
+  let xs = List.init 50 Fun.id in
+  Alcotest.(check (list int))
+    "clamped width-1 map = sequential" (List.map succ xs)
+    (Par.map ~jobs:8 xs succ)
 
 let test_pool_futures () =
   let p = Par.Pool.create ~jobs:3 in
@@ -160,6 +219,13 @@ let () =
           Alcotest.test_case "matches sequential" `Quick test_map_matches_sequential;
           Alcotest.test_case "mapi indices" `Quick test_mapi_passes_indices;
           Alcotest.test_case "deterministic failure" `Quick test_map_deterministic_failure;
+          Alcotest.test_case "widths 1/2/4/8 identical" `Quick
+            test_mapi_deterministic_across_widths;
+          Alcotest.test_case "smallest failing index, chunked" `Quick
+            test_smallest_failing_index_chunked;
+          Alcotest.test_case "10k tiny tasks" `Quick test_stress_tiny_tasks;
+          Alcotest.test_case "empty and singleton" `Quick test_edge_empty_singleton;
+          Alcotest.test_case "max_domains clamp" `Quick test_max_domains_clamp;
         ] );
       ( "pool",
         [
