@@ -586,30 +586,66 @@ let explore_cmd =
 
 (* ---- fuzz ---- *)
 
+(* "30s" or "30" → seconds. *)
+let parse_budget s =
+  let s = String.trim s in
+  let num =
+    if String.length s > 1 && s.[String.length s - 1] = 's' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  match float_of_string_opt num with
+  | Some f when f >= 0.0 -> Ok f
+  | Some _ | None ->
+    Error (Printf.sprintf "bad --budget %S (want e.g. 30s)" s)
+
 let fuzz_cmd =
-  let run count seed jobs smoke mutate metrics_out =
+  let run count seed jobs smoke mutate guided budget corpus_in corpus_out
+      metrics_out =
     let mutate =
       match mutate with
       | None -> None
       | Some m -> Some (or_die (Fuzz.Oracle.mutation_of_string m))
     in
+    let jobs = max 1 jobs in
     let opts =
       {
         Fuzz.Crucible.o_count = (if smoke then 30 else count);
         o_seed = seed;
-        o_jobs = max 1 jobs;
+        o_jobs = jobs;
         o_mutate = mutate;
       }
     in
-    let report = Fuzz.Crucible.run opts in
-    print_string (Fuzz.Crucible.report_to_string report);
-    write_metrics metrics_out
-      ~meta:
-        [
-          ("cmd", Obs.Export.json_str "fuzz");
-          ("jobs", string_of_int (max 1 jobs));
-        ];
-    if not (Fuzz.Crucible.ok report) then exit 1
+    let meta =
+      [ ("cmd", Obs.Export.json_str "fuzz"); ("jobs", string_of_int jobs) ]
+    in
+    if guided || budget <> None || corpus_in <> None || corpus_out <> None
+    then begin
+      let corpus =
+        match corpus_in with
+        | None -> Cov.Corpus.create ()
+        | Some p -> or_die (Cov.Corpus.load p)
+      in
+      let budget_s =
+        match budget with None -> None | Some b -> Some (or_die (parse_budget b))
+      in
+      let report = Fuzz.Crucible.run_guided ?budget_s ~corpus opts in
+      print_string (Fuzz.Crucible.guided_report_to_string report);
+      (match corpus_out with
+      | None -> ()
+      | Some p ->
+        Cov.Corpus.save corpus p;
+        Printf.printf "corpus snapshot: %s (digest %s)\n" p
+          (Cov.Corpus.digest corpus));
+      write_metrics metrics_out ~meta;
+      if not (Fuzz.Crucible.guided_ok report) then exit 1
+    end
+    else begin
+      let report = Fuzz.Crucible.run opts in
+      print_string (Fuzz.Crucible.report_to_string report);
+      write_metrics metrics_out ~meta;
+      if not (Fuzz.Crucible.ok report) then exit 1
+    end
   in
   let count =
     Arg.(
@@ -633,6 +669,38 @@ let fuzz_cmd =
              plants an unsoundness in the static race analyzer) and check \
              that the differential oracles catch it.")
   in
+  let guided =
+    Arg.(
+      value & flag
+      & info [ "guided" ]
+          ~doc:
+            "Coverage-guided campaign: schedule fresh programs and \
+             schedule-mutations of the novelty-ranked corpus by interleaving \
+             coverage instead of blind uniform sampling.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "budget" ] ~docv:"SPAN"
+          ~doc:
+            "Wall-clock bound for the guided campaign, e.g. 30s (checked at \
+             round boundaries; implies $(b,--guided)).")
+  in
+  let corpus_in =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-in" ] ~docv:"FILE"
+          ~doc:"Resume the guided campaign from a corpus checkpoint.")
+  in
+  let corpus_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-out" ] ~docv:"FILE"
+          ~doc:"Write the final corpus checkpoint (narada.covcorpus/1).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -641,8 +709,215 @@ let fuzz_cmd =
           round-trip, VM determinism, FastTrack vs Djit+ vs a naive \
           happens-before oracle, lockset coverage, static race-analyzer \
           soundness, synthesis replay).  Deterministic: the report is \
-          byte-identical for every --jobs.")
-    Term.(const run $ count $ seed_arg $ jobs_arg $ smoke $ mutate $ metrics_out_arg)
+          byte-identical for every --jobs; with $(b,--guided) it is also \
+          reproducible from (seed, corpus snapshot).")
+    Term.(
+      const run $ count $ seed_arg $ jobs_arg $ smoke $ mutate $ guided $ budget
+      $ corpus_in $ corpus_out $ metrics_out_arg)
+
+(* ---- cov ---- *)
+
+let cov_cmd =
+  let run corpus jobs seed metrics_out =
+    let jobs = max 1 jobs in
+    let entries =
+      match corpus with
+      | None -> Corpus.Registry.all
+      | Some id -> (
+        match Corpus.Registry.find id with
+        | Some e -> [ e ]
+        | None ->
+          prerr_endline ("narada: unknown corpus id " ^ id);
+          exit 1)
+    in
+    let rows = Eval.Coverage.coverage_corpus ~seed ~jobs entries in
+    print_string (Eval.Coverage.table rows);
+    write_metrics metrics_out
+      ~meta:
+        [ ("cmd", Obs.Export.json_str "cov"); ("jobs", string_of_int jobs) ]
+  in
+  Cmd.v
+    (Cmd.info "cov"
+       ~doc:
+         "Interleaving coverage of the synthesized tests: racy pairs actually \
+          co-scheduled, HB edges and lock orders exercised, Racefuzzer \
+          postponed-set states.  The table and the stable cov/* counters are \
+          byte-identical for every --jobs value.")
+    Term.(const run $ corpus_arg $ jobs_arg $ seed_arg $ metrics_out_arg)
+
+(* ---- serve ---- *)
+
+(* A persistent work-queue daemon over stdin/stdout.  Requests are
+   line-oriented; a blank line (or EOF) closes a batch.  Within a batch,
+   read-only requests (analyze / cov / confirm) are deduplicated and
+   fanned out over the Par pool; stateful requests (fuzz / stats /
+   checkpoint / quit) run in order at their position against the
+   on-disk-checkpointed corpus.  Responses come back one line per
+   request line, in request order — so a session transcript is
+   deterministic and cram-testable. *)
+let serve_cmd =
+  let run state jobs seed =
+    let jobs = max 1 jobs in
+    if not (Sys.file_exists state) then Sys.mkdir state 0o755;
+    let ckpt = Filename.concat state "corpus.nar" in
+    let corpus =
+      if Sys.file_exists ckpt then
+        match Cov.Corpus.load ckpt with
+        | Ok c -> c
+        | Error msg ->
+          Printf.eprintf "narada: ignoring bad checkpoint %s: %s\n%!" ckpt msg;
+          Cov.Corpus.create ()
+      else Cov.Corpus.create ()
+    in
+    Printf.printf "ready state=%s entries=%d features=%d\n%!" state
+      (Cov.Corpus.size corpus)
+      (Cov.Set.total (Cov.Corpus.coverage corpus));
+    let checkpoint () =
+      Cov.Corpus.save corpus ckpt;
+      Printf.sprintf "checkpoint ok %s entries=%d digest=%s" ckpt
+        (Cov.Corpus.size corpus) (Cov.Corpus.digest corpus)
+    in
+    let handle_pure line =
+      let fail fmt = Printf.sprintf fmt in
+      match String.split_on_char ' ' line with
+      | [ "analyze"; id ] -> (
+        match Corpus.Registry.find id with
+        | None -> fail "error unknown corpus id %s" id
+        | Some e -> (
+          match
+            Narada_core.Pipeline.analyze
+              (Corpus.Registry.compiled_unit e)
+              ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
+              ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
+              ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
+          with
+          | Error msg -> fail "error analyze %s: %s" id msg
+          | Ok an ->
+            Printf.sprintf "analyze %s ok pairs=%d tests=%d" id
+              (List.length an.Narada_core.Pipeline.an_pairs)
+              (List.length an.Narada_core.Pipeline.an_tests)))
+      | [ "cov"; id ] -> (
+        match Corpus.Registry.find id with
+        | None -> fail "error unknown corpus id %s" id
+        | Some e -> (
+          match Eval.Coverage.class_coverage ~seed e with
+          | Error msg -> fail "error cov %s: %s" id msg
+          | Ok cc ->
+            let c k = Cov.Set.count k cc.Eval.Coverage.cc_cov in
+            Printf.sprintf
+              "cov %s ok racy_pair=%d hb_edge=%d lock_order=%d postponed=%d \
+               total=%d"
+              id (c Cov.Racy_pair) (c Cov.Hb_edge) (c Cov.Lock_order)
+              (c Cov.Postponed)
+              (Cov.Set.total cc.Eval.Coverage.cc_cov)))
+      | [ "confirm"; id ] -> (
+        match Corpus.Registry.find id with
+        | None -> fail "error unknown corpus id %s" id
+        | Some e -> (
+          match
+            Eval.Guided.confirm_class ~seed
+              ~mode:(Eval.Guided.Guided { budget = 6; batch = 2; plateau = 1 })
+              e
+          with
+          | Error msg -> fail "error confirm %s: %s" id msg
+          | Ok gc ->
+            Printf.sprintf "confirm %s ok candidates=%d confirmed=%d schedules=%d"
+              id gc.Eval.Guided.gc_candidates
+              (List.length gc.Eval.Guided.gc_confirmed)
+              gc.Eval.Guided.gc_schedules))
+      | _ -> fail "error unparseable request %S" line
+    in
+    let is_pure line =
+      match String.split_on_char ' ' line with
+      | ("analyze" | "cov" | "confirm") :: _ -> true
+      | _ -> false
+    in
+    let quit = ref false in
+    let handle_stateful line =
+      match String.split_on_char ' ' line with
+      | "fuzz" :: count :: rest -> (
+        let fseed =
+          match rest with
+          | [ s ] -> Int64.of_string_opt s
+          | [] -> Some seed
+          | _ -> None
+        in
+        match (int_of_string_opt count, fseed) with
+        | Some n, Some fseed when n > 0 ->
+          let report =
+            Fuzz.Crucible.run_guided ~corpus
+              {
+                Fuzz.Crucible.o_count = n;
+                o_seed = fseed;
+                o_jobs = jobs;
+                o_mutate = None;
+              }
+          in
+          Printf.sprintf "fuzz ok checked=%d novelty=%d corpus=%d failures=%d"
+            report.Fuzz.Crucible.gr_checked report.Fuzz.Crucible.gr_novelty
+            (Cov.Corpus.size corpus)
+            (List.length report.Fuzz.Crucible.gr_failures)
+        | _ -> Printf.sprintf "error bad fuzz request %S" line)
+      | [ "stats" ] ->
+        Printf.sprintf "stats entries=%d features=%d digest=%s"
+          (Cov.Corpus.size corpus)
+          (Cov.Set.total (Cov.Corpus.coverage corpus))
+          (Cov.Corpus.digest corpus)
+      | [ "checkpoint" ] -> checkpoint ()
+      | [ "quit" ] ->
+        quit := true;
+        ignore (checkpoint ());
+        "bye"
+      | _ -> Printf.sprintf "error unparseable request %S" line
+    in
+    (* Read one batch: lines until a blank line or EOF. *)
+    let read_batch () =
+      let rec go acc =
+        match input_line stdin with
+        | exception End_of_file ->
+          if acc = [] then None else Some (List.rev acc)
+        | "" -> if acc = [] then go [] else Some (List.rev acc)
+        | line -> go (String.trim line :: acc)
+      in
+      go []
+    in
+    let rec serve () =
+      match read_batch () with
+      | None -> ignore (checkpoint ())
+      | Some batch ->
+        let pure =
+          List.sort_uniq String.compare (List.filter is_pure batch)
+        in
+        let answers = Par.map ~jobs pure handle_pure in
+        let table = List.combine pure answers in
+        List.iter
+          (fun line ->
+            let resp =
+              if is_pure line then List.assoc line table
+              else handle_stateful line
+            in
+            print_endline resp)
+          batch;
+        flush stdout;
+        if not !quit then serve ()
+    in
+    serve ()
+  in
+  let state =
+    Arg.(
+      value & opt string ".narada-serve"
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:"State directory holding the corpus checkpoint (corpus.nar).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent work-queue daemon: accepts line-oriented analyze / cov / \
+          confirm / fuzz / stats / checkpoint requests on stdin (blank line \
+          closes a batch), deduplicates and fans read-only requests out over \
+          the Par pool, answers one line per request in order, and keeps a \
+          coverage corpus checkpointed on disk across sessions.")
+    Term.(const run $ state $ jobs_arg $ seed_arg)
 
 (* ---- profile ---- *)
 
@@ -747,6 +1022,8 @@ let main_cmd =
       deadlock_cmd;
       explore_cmd;
       fuzz_cmd;
+      cov_cmd;
+      serve_cmd;
       profile_cmd;
     ]
 

@@ -171,6 +171,147 @@ let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
   loop fuel;
   (!result, { rs_steps = !steps; rs_max_postponed = !max_postponed })
 
+(* A coverage-collecting directed execution: same postponing scheduler
+   as [directed_run], but
+
+   - every scheduler choice can be *forced* by a schedule prefix (choice
+     indices, taken modulo the number of enabled options), which is how
+     corpus entries are mutated — replay a recorded prefix, then let the
+     seeded RNG take over;
+   - the choices actually taken are recorded (capped) so a novel run can
+     be admitted to the corpus as a replayable (seed, prefix) entry;
+   - a trace recorder is attached for HB-edge / lock-order features and
+     recycled afterwards (the replay loop must not grow the chunk pool),
+     postponed-set states are fingerprinted as they change, and a
+     confirmed pair contributes a racy-pair feature. *)
+
+type run_cov = {
+  rc_report : Race.report option;
+  rc_stats : run_stats;
+  rc_choices : int list; (* scheduler choices taken, first [choice_cap] *)
+  rc_cov : Cov.Set.t;
+}
+
+let choice_cap = 64
+
+let directed_run_cov (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
+    ?(prefix = []) () : run_cov =
+  let rng = Rng.create seed in
+  let forced = ref prefix in
+  let taken = ref [] in
+  let n_taken = ref 0 in
+  let pick n =
+    let i =
+      match !forced with
+      | f :: rest ->
+        forced := rest;
+        ((f mod n) + n) mod n
+      | [] -> Rng.below rng n
+    in
+    if !n_taken < choice_cap then begin
+      taken := i :: !taken;
+      incr n_taken
+    end;
+    i
+  in
+  let rec_ = Runtime.Trace.attach m in
+  let postponed : (Runtime.Value.tid, Runtime.Machine.pending_access) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let cov = ref Cov.Set.empty in
+  let note_postponed () =
+    if Hashtbl.length postponed > 0 then begin
+      let pairs =
+        Hashtbl.fold
+          (fun tid pa acc -> (tid, pa.Runtime.Machine.pa_field) :: acc)
+          postponed []
+      in
+      cov := Cov.Set.add Cov.Postponed (Cov.postponed_state pairs) !cov
+    end
+  in
+  let steps = ref 0 in
+  let max_postponed = ref 0 in
+  let result = ref None in
+  let step_tid tid =
+    ignore (Runtime.Machine.step m tid);
+    incr steps
+  in
+  let rec loop fuel =
+    if fuel <= 0 || !result <> None then ()
+    else begin
+      let changed = ref false in
+      List.iter
+        (fun tid ->
+          if not (Hashtbl.mem postponed tid) then
+            match Runtime.Machine.pending_access m tid with
+            | Some pa when matches cand pa ->
+              Hashtbl.replace postponed tid pa;
+              changed := true
+            | Some _ | None -> ())
+        (Runtime.Machine.runnable_tids m);
+      if !changed then note_postponed ();
+      if Hashtbl.length postponed > !max_postponed then
+        max_postponed := Hashtbl.length postponed;
+      let poised =
+        Hashtbl.fold (fun tid pa acc -> (tid, pa) :: acc) postponed []
+      in
+      let pair =
+        List.concat_map
+          (fun (t1, p1) ->
+            List.filter_map
+              (fun (t2, p2) ->
+                if t1 < t2 && conflicting p1 p2 then Some ((t1, p1), (t2, p2))
+                else None)
+              poised)
+          poised
+      in
+      match pair with
+      | ((t1, p1), (t2, p2)) :: _ ->
+        result :=
+          Some
+            {
+              Race.r_first = access_of_pending m t1 p1 ~label:!steps;
+              r_second = access_of_pending m t2 p2 ~label:!steps;
+              r_detector = "racefuzzer";
+            };
+        cov :=
+          Cov.Set.add Cov.Racy_pair
+            (Cov.racy_pair ~field:cand.c_field p1.Runtime.Machine.pa_site
+               p2.Runtime.Machine.pa_site)
+            !cov
+      | [] -> (
+        let runnable =
+          List.filter
+            (fun tid -> not (Hashtbl.mem postponed tid))
+            (Runtime.Machine.runnable_tids m)
+        in
+        match runnable with
+        | [] -> (
+          let poised = Hashtbl.fold (fun tid _ acc -> tid :: acc) postponed [] in
+          match List.sort Int.compare poised with
+          | [] -> ()
+          | l ->
+            let tid = List.nth l (pick (List.length l)) in
+            Hashtbl.remove postponed tid;
+            note_postponed ();
+            step_tid tid;
+            loop (fuel - 1))
+        | l ->
+          let tid = List.nth l (pick (List.length l)) in
+          step_tid tid;
+          loop (fuel - 1))
+    end
+  in
+  loop fuel;
+  let trace_cov = Cov.of_trace (Runtime.Trace.snapshot rec_) in
+  Runtime.Trace.recycle rec_;
+  {
+    rc_report = !result;
+    rc_stats = { rs_steps = !steps; rs_max_postponed = !max_postponed };
+    rc_choices = List.rev !taken;
+    rc_cov = Cov.Set.union !cov trace_cov;
+  }
+
 (* Try to confirm a candidate over several directed runs with different
    scheduler seeds.  Each run is an independent seeded VM execution, so
    with [jobs > 1] all runs are fanned out over a domain pool and the
@@ -233,3 +374,120 @@ let confirm ~(instantiate : instantiator) ~(cand : candidate) ?(runs = 10)
   if res.confirmed <> None then
     Obs.Metrics.observe reg "racefuzzer/runs_to_confirm" res.runs_used;
   { res with steps = !prefix_steps }
+
+(* Coverage-guided confirmation.
+
+   Blind [confirm] spends its full run budget on every unconfirmable
+   candidate.  The guided loop instead works in *rounds*: each round
+   derives a batch of run specs purely from (base seed, round number,
+   corpus state at the round boundary) — slot 0 of round 0 is the exact
+   blind first run, later slots mutate the highest-gain corpus entries
+   by replaying a truncated choice prefix under a derived seed.  After
+   executing a batch (optionally over [Par]), results are folded back in
+   slot order: coverage novelty is credited sequentially, the first
+   confirmation (or instantiation failure) in slot order ends the loop,
+   and metrics cover exactly that logical prefix.  A round that yields
+   no new coverage anywhere bumps a plateau counter; [plateau] dry
+   rounds in a row stop the search early.
+
+   Because specs depend only on the corpus at the round start and
+   merging is in slot order, the outcome — confirmation, schedule
+   count, corpus content — is identical for every job count and
+   reproducible from (seed, corpus snapshot). *)
+
+type guided_result = {
+  g_confirmed : Race.report option;
+  g_schedules : int;
+  g_steps : int;
+}
+
+type spec = { sp_seed : int64; sp_prefix : int list }
+
+let confirm_guided ~(instantiate : instantiator) ~(cand : candidate)
+    ?(budget = 10) ?(batch = 2) ?(plateau = 1) ?(fuel = 200_000) ?(seed = 7L)
+    ?(jobs = 1) ~(corpus : Cov.Corpus.t) () : guided_result =
+  let blind_seed i = Int64.add seed (Int64.of_int (i * 7919)) in
+  let spec_for ~ranked idx =
+    if idx = 0 then { sp_seed = blind_seed 0; sp_prefix = [] }
+    else
+      match ranked with
+      | [] -> { sp_seed = blind_seed idx; sp_prefix = [] }
+      | _ :: _ ->
+        (* Rotate over the top 3 entries; keep a deterministic,
+           idx-dependent truncation of the parent's recorded choices. *)
+        let pool = List.filteri (fun i _ -> i < 3) ranked in
+        let parent = List.nth pool ((idx - 1) mod List.length pool) in
+        let plen = List.length parent.Cov.Corpus.en_prefix in
+        let keep = if plen = 0 then 0 else idx * 7 mod (plen + 1) in
+        {
+          sp_seed = Par.seed ~base:parent.Cov.Corpus.en_seed ~index:idx;
+          sp_prefix =
+            List.filteri (fun i _ -> i < keep) parent.Cov.Corpus.en_prefix;
+        }
+  in
+  let run_spec sp =
+    match instantiate () with
+    | Error _ -> Error ()
+    | Ok inst ->
+      Ok
+        (directed_run_cov inst.ri_machine ~cand ~seed:sp.sp_seed ~fuel
+           ~prefix:sp.sp_prefix ())
+  in
+  let reg = Obs.Metrics.global () in
+  let confirmed = ref None in
+  let schedules = ref 0 in
+  let steps = ref 0 in
+  let dry = ref 0 in
+  let stop = ref false in
+  let round = ref 0 in
+  while not !stop do
+    let n = min batch (budget - !schedules) in
+    if n <= 0 then stop := true
+    else begin
+      let ranked = Cov.Corpus.ranked corpus in
+      let base = !round * batch in
+      let specs = List.init n (fun j -> spec_for ~ranked (base + j)) in
+      let results =
+        if jobs <= 1 then List.map run_spec specs
+        else Par.mapi ~jobs specs (fun _ sp -> run_spec sp)
+      in
+      let round_gain = ref 0 in
+      (try
+         List.iter2
+           (fun sp res ->
+             match res with
+             | Error () ->
+               stop := true;
+               raise Exit
+             | Ok rc ->
+               incr schedules;
+               steps := !steps + rc.rc_stats.rs_steps;
+               Obs.Metrics.observe reg "racefuzzer/guided/steps"
+                 rc.rc_stats.rs_steps;
+               let gain =
+                 Cov.Corpus.note corpus ~seed:sp.sp_seed ~prefix:rc.rc_choices
+                   rc.rc_cov
+               in
+               if gain > 0 then
+                 Obs.Metrics.incr ~n:gain reg "racefuzzer/guided/novelty";
+               round_gain := !round_gain + gain;
+               (match rc.rc_report with
+               | Some r ->
+                 confirmed := Some r;
+                 stop := true;
+                 raise Exit
+               | None -> ()))
+           specs results
+       with Exit -> ());
+      if not !stop then
+        if !round_gain = 0 then begin
+          incr dry;
+          if !dry >= plateau then stop := true
+        end
+        else dry := 0;
+      incr round
+    end
+  done;
+  if !confirmed <> None then
+    Obs.Metrics.observe reg "racefuzzer/guided/runs_to_confirm" !schedules;
+  { g_confirmed = !confirmed; g_schedules = !schedules; g_steps = !steps }

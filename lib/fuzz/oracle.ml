@@ -157,6 +157,35 @@ let run_multithreaded ?mutate ~seed cu : mt_run =
   Runtime.Trace.recycle recorder;
   r
 
+(* Interleaving coverage of one seeded multithreaded execution: HB-edge
+   and lock-order features from the trace, racy-pair features from the
+   lockset candidates.  The guided campaign's novelty signal — a
+   dedicated (cheap) execution so the blind oracle path stays
+   untouched. *)
+let coverage ~seed program : Cov.Set.t =
+  match Jir.Compile.compile_source (Gen.to_source program) with
+  | exception Jir.Diag.Error _ -> Cov.Set.empty
+  | cu ->
+    let ls = Lockset.create () in
+    let recorder = Runtime.Trace.recorder () in
+    let _res, _m =
+      Conc.Exec.run_program ~seed:(vm_seed seed) cu ~client_classes
+        ~cls:Gen.seed_cls ~meth:Gen.main_meth
+        ~on_machine:(fun m ->
+          Runtime.Machine.add_observer m (Runtime.Trace.observer recorder);
+          Runtime.Machine.add_observer m (Lockset.observer ls))
+        (Conc.Scheduler.random ~seed:(sched_seed seed))
+    in
+    let cov = Cov.of_trace (Runtime.Trace.snapshot recorder) in
+    Runtime.Trace.recycle recorder;
+    List.fold_left
+      (fun acc (r : Race.report) ->
+        Cov.Set.add Cov.Racy_pair
+          (Cov.racy_pair ~field:r.Race.r_first.Race.a_field
+             r.Race.r_first.Race.a_site r.Race.r_second.Race.a_site)
+          acc)
+      cov (Lockset.candidates ls)
+
 (* ---- individual oracles ---- *)
 
 let roundtrip program =

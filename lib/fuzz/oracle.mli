@@ -63,6 +63,13 @@ val fails_oracle :
     predicate: candidates must keep failing the oracle that flagged the
     original program. *)
 
+val coverage : seed:int64 -> Jir.Ast.program -> Cov.Set.t
+(** Interleaving coverage of one seeded multithreaded execution of the
+    program (same derived VM/scheduler seeds as the oracles): HB-edge
+    and lock-order features from the recorded trace, racy-pair features
+    from the lockset candidates.  Empty if the program does not
+    compile.  The guided campaign's novelty signal. *)
+
 val naive_hb_racy_vars : Runtime.Trace.t -> (int * string * int option) list
 (** The naive oracle by itself: variables [(addr, field, idx)] with at
     least one pair of conflicting, vector-clock-unordered accesses,

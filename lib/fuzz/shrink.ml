@@ -65,10 +65,15 @@ let class_reductions (c : class_decl) : class_decl Seq.t =
 let program_reductions (p : program) : program Seq.t =
   Seq.append (drop_one p) (rewrite_one class_reductions p)
 
-let shrink ~keep (p : program) : program * int =
-  let rec go p steps =
+let shrink_trace ~keep (p : program) : program list =
+  let rec go p acc =
     match Seq.find keep (program_reductions p) with
-    | Some p' -> go p' (steps + 1)
-    | None -> (p, steps)
+    | Some p' -> go p' (p' :: acc)
+    | None -> List.rev acc
   in
-  go p 0
+  go p []
+
+let shrink ~keep (p : program) : program * int =
+  match shrink_trace ~keep p with
+  | [] -> (p, 0)
+  | steps -> (List.nth steps (List.length steps - 1), List.length steps)

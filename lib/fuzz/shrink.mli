@@ -14,3 +14,10 @@
 
 val shrink :
   keep:(Jir.Ast.program -> bool) -> Jir.Ast.program -> Jir.Ast.program * int
+
+val shrink_trace :
+  keep:(Jir.Ast.program -> bool) -> Jir.Ast.program -> Jir.Ast.program list
+(** Every accepted intermediate program, in application order, ending
+    with the minimal one ([[]] when no reduction is accepted).  Each
+    element satisfies [keep] by construction of the greedy loop; the
+    soundness property test re-checks that against the live oracle. *)

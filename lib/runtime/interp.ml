@@ -22,7 +22,12 @@ let record ?(seed = 42L) ?(fuel = Machine.default_fuel) (cu : Code.unit_)
   let cm = find_entry cu ~cls ~meth in
   let tid = Machine.new_thread m ~client:true ~cm ~recv:None ~args:[] () in
   let res = Machine.run_thread_to_completion m tid ~fuel in
-  (m, Trace.snapshot rec_, res)
+  let trace = Trace.snapshot rec_ in
+  (* The snapshot is a copy and no caller steps [m] afterwards, so the
+     backing chunks can rejoin the per-domain pool right away —
+     replay-heavy stages (confirm, eval, deadlock) run this in a loop. *)
+  Trace.recycle rec_;
+  (m, trace, res)
 
 (* Convenience used throughout tests: run [cls.main()]. *)
 let run_main ?(seed = 42L) (cu : Code.unit_) ~cls :

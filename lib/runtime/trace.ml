@@ -62,6 +62,8 @@ let observer r (e : Event.t) =
   r.cur_len <- r.cur_len + 1;
   r.count <- r.count + 1
 
+let pool_size () = List.length !(Domain.DLS.get chunk_pool)
+
 let recycle r =
   if r.chunk = default_chunk_size then begin
     let pool = Domain.DLS.get chunk_pool in
@@ -70,7 +72,12 @@ let recycle r =
         pool := c :: !pool
     in
     List.iter put r.filled;
-    if Array.length r.cur > 0 then put r.cur
+    if Array.length r.cur > 0 then put r.cur;
+    (* High-water mark of this domain's free list: a volatile gauge (the
+       pool is scheduling-dependent), watched by the replay stress test
+       to prove the list stays bounded by [max_pooled_chunks]. *)
+    Obs.Metrics.gauge_max (Obs.Metrics.global ()) "trace/pool/chunks"
+      (float_of_int (List.length !pool))
   end;
   r.filled <- [];
   r.cur <- [||];

@@ -32,6 +32,13 @@ val recycle : recorder -> unit
     stepped again.  Custom [chunk_size] recorders are reset but their
     chunks are not pooled. *)
 
+val pool_size : unit -> int
+(** Current length of this domain's chunk free list — bounded by an
+    internal cap; exposed for the replay-stress pool test. *)
+
+val max_pooled_chunks : int
+(** The cap on {!pool_size}. *)
+
 val length : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

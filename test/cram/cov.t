@@ -1,0 +1,44 @@
+Interleaving coverage is a union of per-test feature sets, so the
+table is byte-identical for every --jobs value.
+
+  $ narada cov --jobs 1 > t1
+  $ narada cov --jobs 2 > t2
+  $ narada cov --jobs 4 > t4
+  $ diff t1 t2 && diff t1 t4 && echo identical
+  identical
+
+  $ cat t1
+  Interleaving coverage per class (distinct features)
+  Cls   Tests   RacyPair   HbEdge   LockOrder  Postponed   Total
+  --------------------------------------------------------------
+  C1       31         80        2           0          6      88
+  C2       69         82        2           0          6      90
+  C3       22         18        2           8          3      31
+  C4       42         20        2           4          7      33
+  C5      185        299        2           0         18     319
+  C6      109        161        2           0         22     185
+  C7       11          5        4           0          9      18
+  C8       24         26        2           0         10      38
+  C9       10         10        2           0          7      19
+
+The stable section of the metrics export carries the per-class feature
+counts and is also jobs-count independent.
+
+  $ narada cov --corpus C9 --metrics-out m1.json --jobs 1 > /dev/null
+  $ narada cov --corpus C9 --metrics-out m2.json --jobs 2 > /dev/null
+  $ narada cov --corpus C9 --metrics-out m4.json --jobs 4 > /dev/null
+  $ grep '"kind": "stable"' m1.json > s1
+  $ grep '"kind": "stable"' m2.json > s2
+  $ grep '"kind": "stable"' m4.json > s4
+  $ diff s1 s2 && diff s1 s4 && echo identical
+  identical
+
+  $ grep '"type": "counter"' s1
+  {"kind": "stable", "type": "counter", "name": "cov/C9/hb_edge", "value": 2}
+  {"kind": "stable", "type": "counter", "name": "cov/C9/lock_order", "value": 0}
+  {"kind": "stable", "type": "counter", "name": "cov/C9/postponed", "value": 7}
+  {"kind": "stable", "type": "counter", "name": "cov/C9/racy_pair", "value": 10}
+  {"kind": "stable", "type": "counter", "name": "cov/C9/total", "value": 19}
+
+  $ sed -E 's/"unix_ms": [0-9]+/"unix_ms": T/' m4.json | head -1
+  {"kind": "meta", "schema": "narada.metrics/1", "unix_ms": T, "cmd": "cov", "jobs": 4}

@@ -67,3 +67,45 @@ Hiding release edges is caught the same way.
 
   $ narada fuzz --smoke --seed 42 --mutate drop-release > /dev/null
   [1]
+
+The coverage-guided campaign (no wall budget) is just as deterministic:
+report and corpus snapshot are byte-identical across job counts.
+
+  $ narada fuzz --count 8 --seed 5 --jobs 1 --guided --corpus-out c1.nar > g1.out
+  $ narada fuzz --count 8 --seed 5 --jobs 4 --guided --corpus-out c4.nar > g4.out
+  $ grep -v '^corpus snapshot:' g1.out > r1
+  $ grep -v '^corpus snapshot:' g4.out > r4
+  $ diff r1 r4 && cmp c1.nar c4.nar && echo identical
+  identical
+  $ cat g1.out
+  crucible (guided): 8/8 checks in 1 rounds (batch 8, plateau 3), seed 5
+    coverage: 150 features (8 corpus entries, novelty 150)
+    oracle               pass   fail
+    roundtrip               8      0
+    typecheck               8      0
+    vm-determinism          8      0
+    detectors-agree         8      0
+    lockset-superset        8      0
+    static-superset         8      0
+    synthesis-replay        8      0
+  no oracle violations
+  corpus snapshot: c1.nar (digest f1c2224526d7ee0c)
+  $ head -1 c1.nar
+  narada.covcorpus/1
+
+Resuming from the snapshot: only genuinely novel programs enter the
+corpus (8 entries carried in, 3 added).
+
+  $ narada fuzz --count 4 --seed 9 --guided --corpus-in c1.nar --corpus-out c2.nar
+  crucible (guided): 4/4 checks in 1 rounds (batch 8, plateau 3), seed 9
+    coverage: 213 features (11 corpus entries, novelty 63)
+    oracle               pass   fail
+    roundtrip               4      0
+    typecheck               4      0
+    vm-determinism          4      0
+    detectors-agree         4      0
+    lockset-superset        4      0
+    static-superset         4      0
+    synthesis-replay        4      0
+  no oracle violations
+  corpus snapshot: c2.nar (digest 747d072aa16252f1)

@@ -1,0 +1,40 @@
+The serve daemon reads line-oriented requests (a blank line closes a
+batch; pure requests in a batch are deduplicated and fanned out, but
+every request line still gets its response line, in order) and
+checkpoints its corpus on quit.
+
+  $ printf 'analyze C1\nanalyze C1\ncov C9\nconfirm C9\nstats\n\nfuzz 6 11\ncheckpoint\nstats\nquit\n' \
+  >   | narada serve --state srv --jobs 2 --seed 7
+  ready state=srv entries=0 features=0
+  analyze C1 ok pairs=105 tests=31
+  analyze C1 ok pairs=105 tests=31
+  cov C9 ok racy_pair=10 hb_edge=2 lock_order=0 postponed=7 total=19
+  confirm C9 ok candidates=10 confirmed=8 schedules=20
+  stats entries=0 features=0 digest=41120543fab6c782
+  fuzz ok checked=6 novelty=128 corpus=6 failures=0
+  checkpoint ok srv/corpus.nar entries=6 digest=9af8df947cf31522
+  stats entries=6 features=128 digest=9af8df947cf31522
+  bye
+
+The checkpoint is a versioned text file.
+
+  $ head -1 srv/corpus.nar
+  narada.covcorpus/1
+
+A new session over the same state directory resumes from the
+checkpoint: same entries, same digest.
+
+  $ printf 'stats\nquit\n' | narada serve --state srv --jobs 1 --seed 7
+  ready state=srv entries=6 features=128
+  stats entries=6 features=128 digest=9af8df947cf31522
+  bye
+
+Unknown requests are reported without killing the session, and EOF
+without quit still checkpoints.
+
+  $ printf 'bogus C1\nanalyze C99\n' | narada serve --state srv2 --seed 7
+  ready state=srv2 entries=0 features=0
+  error unparseable request "bogus C1"
+  error unknown corpus id C99
+  $ head -1 srv2/corpus.nar
+  narada.covcorpus/1

@@ -46,6 +46,59 @@ let shrinker_reduces () =
   Alcotest.(check string) "deterministic" (Fuzz.Gen.to_source q)
     (Fuzz.Gen.to_source q2)
 
+(* Seeds whose generated program fails the differential oracle once
+   join edges are hidden from FastTrack's feed — pinned so the shrinker
+   properties below always have real counterexamples to chew on. *)
+let drop_join_failing_seeds = [ 2000L; 2008L ]
+
+let failing_oracle_of seed =
+  let p = Fuzz.Gen.generate ~seed in
+  match Fuzz.Oracle.first_failure ~mutate:Fuzz.Oracle.Drop_join ~seed p with
+  | Some (oracle, _) -> (p, oracle)
+  | None -> Alcotest.failf "pinned seed %Ld no longer fails under Drop_join" seed
+
+(* Soundness: every accepted intermediate of the shrink trace still
+   fails the oracle that flagged the original program — re-checked
+   against the live oracle, not the shrinker's own bookkeeping. *)
+let qcheck_shrink_trace_sound =
+  QCheck.Test.make ~name:"every shrink step keeps failing the oracle"
+    ~count:(List.length drop_join_failing_seeds)
+    (QCheck.oneofl drop_join_failing_seeds)
+    (fun seed ->
+      let p, oracle = failing_oracle_of seed in
+      let keep q =
+        Fuzz.Oracle.fails_oracle ~mutate:Fuzz.Oracle.Drop_join ~seed ~oracle q
+      in
+      let trace = Fuzz.Shrink.shrink_trace ~keep p in
+      trace <> []
+      && List.for_all
+           (fun q ->
+             Fuzz.Oracle.fails_oracle ~mutate:Fuzz.Oracle.Drop_join ~seed
+               ~oracle q)
+           trace)
+
+let shrink_trace_minimality () =
+  let seed = List.hd drop_join_failing_seeds in
+  let p, oracle = failing_oracle_of seed in
+  let keep q =
+    Fuzz.Oracle.fails_oracle ~mutate:Fuzz.Oracle.Drop_join ~seed ~oracle q
+  in
+  let trace = Fuzz.Shrink.shrink_trace ~keep p in
+  let q, steps = Fuzz.Shrink.shrink ~keep p in
+  Alcotest.(check int) "trace length = step count" steps (List.length trace);
+  (match List.rev trace with
+  | last :: _ ->
+    Alcotest.(check string) "trace ends at the shrink result"
+      (Fuzz.Gen.to_source q) (Fuzz.Gen.to_source last)
+  | [] -> Alcotest.fail "empty shrink trace");
+  (* 1-minimal: shrinking the result again finds nothing to remove. *)
+  let _, steps2 = Fuzz.Shrink.shrink ~keep q in
+  Alcotest.(check int) "fixed point" 0 steps2;
+  (* Regression bound: seed 2000 currently shrinks 395 -> 18; allow
+     slack but catch the shrinker silently losing its reductions. *)
+  Alcotest.(check bool) "shrinks below 60 nodes" true
+    (Jir.Ast.program_size q < 60)
+
 let campaign opts = Fuzz.Crucible.run opts
 
 let smoke_campaign_passes () =
@@ -62,6 +115,40 @@ let campaign_jobs_deterministic () =
   Alcotest.(check string) "byte-identical report"
     (Fuzz.Crucible.report_to_string r1)
     (Fuzz.Crucible.report_to_string r3)
+
+let guided_campaign_deterministic_and_replayable () =
+  let base =
+    { Fuzz.Crucible.default_options with o_count = 8; o_seed = 5L }
+  in
+  let r1 = Fuzz.Crucible.run_guided ~batch:4 { base with o_jobs = 1 } in
+  let r3 = Fuzz.Crucible.run_guided ~batch:4 { base with o_jobs = 3 } in
+  Alcotest.(check string) "byte-identical across jobs"
+    (Fuzz.Crucible.guided_report_to_string r1)
+    (Fuzz.Crucible.guided_report_to_string r3);
+  Alcotest.(check string) "corpus digest agrees"
+    (Cov.Corpus.digest r1.Fuzz.Crucible.gr_corpus)
+    (Cov.Corpus.digest r3.Fuzz.Crucible.gr_corpus);
+  if not (Fuzz.Crucible.guided_ok r1) then
+    Alcotest.failf "unexpected violation:\n%s"
+      (Fuzz.Crucible.guided_report_to_string r1);
+  (* Replay from a checkpoint: two campaigns resumed from the same
+     (seed, corpus snapshot) are byte-identical. *)
+  let path = Filename.temp_file "narada_corpus" ".nar" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cov.Corpus.save r1.Fuzz.Crucible.gr_corpus path;
+      let resume () =
+        match Cov.Corpus.load path with
+        | Error e -> Alcotest.failf "corpus load failed: %s" e
+        | Ok corpus ->
+          let r = Fuzz.Crucible.run_guided ~batch:4 ~corpus base in
+          (Fuzz.Crucible.guided_report_to_string r, Cov.Corpus.digest corpus)
+      in
+      let rep_a, dig_a = resume () in
+      let rep_b, dig_b = resume () in
+      Alcotest.(check string) "replayed report identical" rep_a rep_b;
+      Alcotest.(check string) "replayed corpus digest identical" dig_a dig_b)
 
 let mutation_is_caught () =
   (* Hiding join edges from FastTrack's feed must produce a divergence
@@ -98,11 +185,18 @@ let () =
           Alcotest.test_case "pure in the seed" `Quick generation_is_pure;
           Alcotest.test_case "oracles hold" `Quick oracles_pass_on_generated;
         ] );
-      ("shrinker", [ Alcotest.test_case "reduces" `Quick shrinker_reduces ]);
+      ( "shrinker",
+        [
+          Alcotest.test_case "reduces" `Quick shrinker_reduces;
+          QCheck_alcotest.to_alcotest ~long:true qcheck_shrink_trace_sound;
+          Alcotest.test_case "minimality" `Slow shrink_trace_minimality;
+        ] );
       ( "campaign",
         [
           Alcotest.test_case "smoke passes" `Slow smoke_campaign_passes;
           Alcotest.test_case "jobs-count independent" `Slow campaign_jobs_deterministic;
+          Alcotest.test_case "guided deterministic and replayable" `Slow
+            guided_campaign_deterministic_and_replayable;
           Alcotest.test_case "fault injection caught" `Slow mutation_is_caught;
         ] );
     ]
