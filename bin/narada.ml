@@ -52,8 +52,24 @@ let entry_arg =
 
 let seed_arg =
   Arg.(
-    value & opt int64 42L
+    value
+    & opt int64 Runtime.Machine.default_seed
     & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed (VM and schedulers).")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("interp", Backend.Interp); ("compiled", Backend.Compiled) ])
+        (Backend.default_kind ())
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Execution backend: $(b,interp) steps the instruction interpreter; \
+           $(b,compiled) (the default) pre-compiles each method body to \
+           OCaml closures once per program digest, specializing the \
+           replay-heavy detection stages.  Both produce identical traces, \
+           results and race sets (the fuzz $(b,backend-diff) oracle \
+           machine-checks this).  $(b,NARADA_BACKEND) sets the default.")
 
 let jobs_arg =
   Arg.(
@@ -326,7 +342,7 @@ let synthesize_cmd =
 (* ---- detect ---- *)
 
 let detect_cmd =
-  let run corpus_id jobs static_filter metrics_out =
+  let run corpus_id jobs static_filter backend metrics_out =
     match Corpus.Registry.find corpus_id with
     | None ->
       prerr_endline ("narada: unknown corpus id " ^ corpus_id);
@@ -337,6 +353,7 @@ let detect_cmd =
           Eval.Evaluate.default_options with
           opt_jobs = max 1 jobs;
           opt_static_filter = static_filter;
+          opt_backend = backend;
         }
       in
       match Eval.Evaluate.evaluate_class ~opts e with
@@ -386,7 +403,9 @@ let detect_cmd =
        ~doc:
          "Synthesize tests for a corpus class, run them under the detection \
           stack and report every race (detected / reproduced / triaged).")
-    Term.(const run $ id $ jobs_arg $ static_filter_arg $ metrics_out_arg)
+    Term.(
+      const run $ id $ jobs_arg $ static_filter_arg $ backend_arg
+      $ metrics_out_arg)
 
 (* ---- eval ---- *)
 
@@ -395,7 +414,7 @@ let detect_cmd =
 let smoke_ids = [ "C1"; "C3"; "C9" ]
 
 let eval_cmd =
-  let run with_contege budget jobs static_filter smoke metrics_out =
+  let run with_contege budget jobs static_filter backend smoke metrics_out =
     let opts =
       if smoke then
         {
@@ -403,9 +422,14 @@ let eval_cmd =
           opt_schedules = 2;
           opt_confirm_runs = 3;
           opt_static_filter = static_filter;
+          opt_backend = backend;
         }
       else
-        { Eval.Evaluate.default_options with opt_static_filter = static_filter }
+        {
+          Eval.Evaluate.default_options with
+          opt_static_filter = static_filter;
+          opt_backend = backend;
+        }
     in
     let entries =
       if smoke then
@@ -464,8 +488,8 @@ let eval_cmd =
     (Cmd.info "eval"
        ~doc:"Reproduce Tables 3-5 and Figure 14 over the whole corpus.")
     Term.(
-      const run $ with_contege $ budget $ jobs_arg $ static_filter_arg $ smoke
-      $ metrics_out_arg)
+      const run $ with_contege $ budget $ jobs_arg $ static_filter_arg
+      $ backend_arg $ smoke $ metrics_out_arg)
 
 (* ---- contege ---- *)
 
@@ -502,7 +526,7 @@ let contege_cmd =
 (* ---- explore ---- *)
 
 let explore_cmd =
-  let run corpus_id test_id bound =
+  let run corpus_id test_id bound backend =
     match Corpus.Registry.find corpus_id with
     | None ->
       prerr_endline ("narada: unknown corpus id " ^ corpus_id);
@@ -510,7 +534,7 @@ let explore_cmd =
     | Some e -> (
       let cu = compile_or_die ~entry:e e.Corpus.Corpus_def.e_source in
       match
-        Narada_core.Pipeline.analyze cu
+        Narada_core.Pipeline.analyze cu ~backend
           ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
           ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
           ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
@@ -582,7 +606,7 @@ let explore_cmd =
        ~doc:
          "Systematically explore a synthesized test's schedules (CHESS-style \
           preemption-bounded search) and report every race observed.")
-    Term.(const run $ id $ test_id $ bound)
+    Term.(const run $ id $ test_id $ bound $ backend_arg)
 
 (* ---- fuzz ---- *)
 
@@ -708,7 +732,8 @@ let fuzz_cmd =
           the whole stack with differential oracles (pretty/parse \
           round-trip, VM determinism, FastTrack vs Djit+ vs a naive \
           happens-before oracle, lockset coverage, static race-analyzer \
-          soundness, synthesis replay).  Deterministic: the report is \
+          soundness, synthesis replay, interpreter vs compiled backend).  \
+          Deterministic: the report is \
           byte-identical for every --jobs; with $(b,--guided) it is also \
           reproducible from (seed, corpus snapshot).")
     Term.(

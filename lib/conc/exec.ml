@@ -25,18 +25,59 @@ let run ?(fuel = default_fuel) (m : Runtime.Machine.t) (sched : Scheduler.t) :
     run_result =
   let decisions = ref [] in
   let steps = ref 0 in
+  (* The loop works on thread records: one hash lookup per thread at
+     query time would otherwise be paid on every one of the (often
+     millions of) steps.  With an index-choosing scheduler the runnable
+     set is never materialized — two walks of the (short) creation-order
+     list replace the per-step filter/map allocations; otherwise
+     [Scheduler.choose] keeps its tid-list interface and the chosen
+     record is re-found in the runnable list.  Note that the scheduler
+     must be consulted even when a single thread is runnable: the random
+     scheduler draws from its RNG regardless, and skipping the draw
+     would silently change every downstream schedule. *)
+  let choose_idx = Scheduler.choose_idx sched in
+  let rec find_rec tid = function
+    | [] -> Runtime.Machine.find_thread m tid
+    | th :: rest ->
+      if Runtime.Machine.thread_id th = tid then th else find_rec tid rest
+  in
+  let rec count_runnable acc = function
+    | [] -> acc
+    | th :: rest ->
+      count_runnable
+        (if Runtime.Machine.runnable_th m th then acc + 1 else acc)
+        rest
+  in
+  let rec nth_runnable i = function
+    | [] -> invalid_arg "Exec.run: runnable index out of range"
+    | th :: rest ->
+      if Runtime.Machine.runnable_th m th then
+        if i = 0 then th else nth_runnable (i - 1) rest
+      else nth_runnable i rest
+  in
   let rec loop n =
     if n <= 0 then Fuel_exhausted
     else
-      match Runtime.Machine.runnable_tids m with
-      | [] ->
+      let ths = Runtime.Machine.all_threads m in
+      match count_runnable 0 ths with
+      | 0 ->
         if Runtime.Machine.live_tids m = [] then All_finished
         else Deadlock (Runtime.Machine.live_tids m)
-      | runnable -> (
-        let tid = Scheduler.choose sched m runnable in
-        match Runtime.Machine.step m tid with
+      | k -> (
+        let th =
+          match choose_idx with
+          | Some f -> nth_runnable (f m k) ths
+          | None ->
+            let rthreads = List.filter (Runtime.Machine.runnable_th m) ths in
+            let tid =
+              Scheduler.choose sched m
+                (List.map Runtime.Machine.thread_id rthreads)
+            in
+            find_rec tid rthreads
+        in
+        match Runtime.Machine.step_th m th with
         | Runtime.Machine.Stepped ->
-          decisions := tid :: !decisions;
+          decisions := Runtime.Machine.thread_id th :: !decisions;
           incr steps;
           loop (n - 1)
         | Runtime.Machine.Blocked | Runtime.Machine.Not_runnable ->
@@ -58,7 +99,7 @@ let run ?(fuel = default_fuel) (m : Runtime.Machine.t) (sched : Scheduler.t) :
 
 (* Convenience: compile-and-run a whole program from its static main,
    scheduling any threads it spawns. *)
-let run_program ?(fuel = default_fuel) ?(seed = 42L) ?(on_machine = fun _ -> ())
+let run_program ?(fuel = default_fuel) ?(seed = Runtime.Machine.default_seed) ?(on_machine = fun _ -> ())
     (cu : Jir.Code.unit_) ~client_classes ~cls ~meth (sched : Scheduler.t) :
     run_result * Runtime.Machine.t =
   let m = Runtime.Machine.create ~client_classes ~seed cu in

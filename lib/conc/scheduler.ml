@@ -8,12 +8,26 @@
 type decision = Runtime.Value.tid
 
 (* A scheduler: given the machine and the runnable thread ids (non-empty,
-   ascending), choose one. *)
-type t = { name : string; choose : Runtime.Machine.t -> Runtime.Value.tid list -> decision }
+   ascending), choose one.
+
+   [choose_idx], when present, is the *same* decision expressed as an
+   index into the runnable list given only its length.  Schedulers that
+   never inspect the candidate tids (e.g. uniform random) provide it so
+   the executor's hot loop can skip materializing a tid list; both paths
+   must consume the scheduler's random stream identically, so an
+   execution is bit-for-bit the same whichever one the driver calls. *)
+type t = {
+  name : string;
+  choose : Runtime.Machine.t -> Runtime.Value.tid list -> decision;
+  choose_idx : (Runtime.Machine.t -> int -> int) option;
+}
 
 let name t = t.name
 
 let choose t m runnable = t.choose m runnable
+
+let choose_idx t = t.choose_idx
+[@@inline]
 
 (* Per-scheduler stream: the shared unbiased generator. *)
 let mk_rng seed = Rng.create seed
@@ -33,13 +47,17 @@ let round_robin () =
         in
         last := next;
         next);
+    choose_idx = None;
   }
 
 let random ~seed =
   let rng = mk_rng seed in
+  (* One draw per decision, bound = #runnable, on both paths: the RNG
+     stream cannot depend on which interface the driver uses. *)
   {
     name = Printf.sprintf "random(%Ld)" seed;
     choose = (fun _m runnable -> List.nth runnable (rand_below rng (List.length runnable)));
+    choose_idx = Some (fun _m n -> rand_below rng n);
   }
 
 (* Random scheduler with inertia: keeps running the same thread for a
@@ -59,6 +77,7 @@ let random_coarse ~seed ~switch_denominator =
           let t = List.nth runnable (rand_below rng (List.length runnable)) in
           current := t;
           t));
+    choose_idx = None;
   }
 
 (* A scheduler driven by an explicit pre-recorded decision list; used
@@ -78,10 +97,11 @@ let replay ~decisions =
           remaining := rest;
           List.hd runnable
         | [] -> List.hd runnable);
+    choose_idx = None;
   }
 
 (* A custom scheduler from a function (used by RaceFuzzer). *)
-let of_fun ~name choose = { name; choose }
+let of_fun ~name choose = { name; choose; choose_idx = None }
 
 (* PCT — probabilistic concurrency testing (Burckhardt et al., ASPLOS'10).
    Threads get distinct random priorities; at [depth - 1] pre-chosen step
@@ -125,4 +145,5 @@ let pct ~seed ~depth ~expected_steps =
         end;
         incr step;
         tid);
+    choose_idx = None;
   }

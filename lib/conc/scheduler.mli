@@ -13,6 +13,13 @@ val name : t -> string
 val choose : t -> Runtime.Machine.t -> Runtime.Value.tid list -> decision
 (** [choose t m runnable] picks one of [runnable] (non-empty). *)
 
+val choose_idx : t -> (Runtime.Machine.t -> int -> int) option
+(** The same decision as an index given only the number of runnable
+    threads, for schedulers that never inspect the candidate tids.
+    Both interfaces consume the scheduler's random stream identically,
+    so a driver may use whichever is cheaper without changing the
+    schedule. *)
+
 val round_robin : unit -> t
 
 val random : seed:int64 -> t

@@ -15,6 +15,9 @@ type analysis = {
   an_static_filter : bool;
   an_tests : Synth.test list;
   an_seconds : float;
+  an_backend : Backend.t;
+      (* prepared once per analysis: the digest lookup / compilation is
+         paid here, not on every instantiate of the replay loop *)
 }
 
 (* Intersect dynamically generated pairs with the static candidate set
@@ -30,16 +33,22 @@ let static_prune (cu : Jir.Code.unit_) (pairs : Pairs.pair list) =
         ~m2:p.Pairs.p_b.Pairs.ep_site.Runtime.Event.s_meth)
     pairs
 
-let analyze ?(seed = 42L) ?(static_filter = false) (cu : Jir.Code.unit_)
-    ~client_classes ~seed_cls ~seed_meth : (analysis, string) result =
+let analyze ?(seed = Runtime.Machine.default_seed) ?(static_filter = false)
+    ?backend (cu : Jir.Code.unit_) ~client_classes ~seed_cls ~seed_meth :
+    (analysis, string) result =
+  let backend =
+    match backend with
+    | Some k -> Backend.prepare k cu
+    | None -> Backend.prepare (Backend.default_kind ()) cu
+  in
   (* ~root: analyses may run on a Par worker domain; the span paths must
      not depend on where the work was scheduled. *)
   let sp = Obs.Span.enter ~root:true "pipeline" in
   let t0 = Obs.Clock.ticks () in
   let _m, trace, res =
     Obs.Span.with_ "trace" (fun () ->
-        Runtime.Interp.record ~seed cu ~client_classes ~cls:seed_cls
-          ~meth:seed_meth)
+        Runtime.Interp.record ~seed ~on_machine:(Backend.on_machine backend) cu
+          ~client_classes ~cls:seed_cls ~meth:seed_meth)
   in
   match res with
   | Error e ->
@@ -78,16 +87,19 @@ let analyze ?(seed = 42L) ?(static_filter = false) (cu : Jir.Code.unit_)
         an_static_filter = static_filter;
         an_tests = tests;
         an_seconds = seconds;
+        an_backend = backend;
       }
 
-let analyze_source ?seed ?static_filter src ~client_classes ~seed_cls ~seed_meth
-    : (analysis, string) result =
+let analyze_source ?seed ?static_filter ?backend src ~client_classes ~seed_cls
+    ~seed_meth : (analysis, string) result =
   match Jir.Compile.compile_source src with
-  | cu -> analyze ?seed ?static_filter cu ~client_classes ~seed_cls ~seed_meth
+  | cu ->
+    analyze ?seed ?static_filter ?backend cu ~client_classes ~seed_cls ~seed_meth
   | exception Jir.Diag.Error e -> Error (Jir.Diag.to_string e)
 
 let instantiator (an : analysis) (t : Synth.test) : Detect.Racefuzzer.instantiator =
-  Synth.instantiator an.an_cu ~client_classes:an.an_client_classes t
+  Synth.instantiator an.an_cu ~client_classes:an.an_client_classes
+    ~backend:an.an_backend t
 
 let summary_to_string (an : analysis) =
   Printf.sprintf

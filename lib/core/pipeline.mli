@@ -15,11 +15,15 @@ type analysis = {
   an_static_filter : bool;
   an_tests : Synth.test list;
   an_seconds : float;
+  an_backend : Backend.t;
+      (** execution backend prepared for [an_cu]; installed on every
+          machine {!instantiator} creates *)
 }
 
 val analyze :
   ?seed:int64 ->
   ?static_filter:bool ->
+  ?backend:Backend.kind ->
   Jir.Code.unit_ ->
   client_classes:Jir.Ast.id list ->
   seed_cls:Jir.Ast.id ->
@@ -28,11 +32,14 @@ val analyze :
 (** [~static_filter:true] intersects the generated pairs with the
     static race analyzer's candidate set before synthesis; kept and
     pruned counts are reported separately so unfiltered totals stay
-    reconstructible. *)
+    reconstructible.  [backend] (default {!Backend.default_kind})
+    selects the execution backend; preparing it (digest lookup plus at
+    most one compilation) happens here, once per analysis. *)
 
 val analyze_source :
   ?seed:int64 ->
   ?static_filter:bool ->
+  ?backend:Backend.kind ->
   string ->
   client_classes:Jir.Ast.id list ->
   seed_cls:Jir.Ast.id ->

@@ -280,9 +280,11 @@ let effective_recipe (p : Context.plan) ~(path : string list) :
   | Some r -> Some (path, r)
   | None -> p.Context.plan_prefix
 
-let instantiate ?(seed = 42L) ?(apply_context = true) (cu : Jir.Code.unit_)
-    ~client_classes (t : test) : (Detect.Racefuzzer.instance, string) result =
+let instantiate ?(seed = Runtime.Machine.default_seed) ?(apply_context = true)
+    ?backend (cu : Jir.Code.unit_) ~client_classes (t : test) :
+    (Detect.Racefuzzer.instance, string) result =
   let m = Runtime.Machine.create ~client_classes ~seed cu in
+  (match backend with Some b -> Backend.install b m | None -> ());
   let ea = t.st_pair.Pairs.p_a and eb = t.st_pair.Pairs.p_b in
   (* 1. collectObjects: one independent seed replay per endpoint. *)
   let* cap_a = capture m ~t ~e:ea in
@@ -359,9 +361,9 @@ let instantiate ?(seed = 42L) ?(apply_context = true) (cu : Jir.Code.unit_)
       ri_roots = roots;
     }
 
-let instantiator ?seed ?apply_context cu ~client_classes (t : test) :
+let instantiator ?seed ?apply_context ?backend cu ~client_classes (t : test) :
     Detect.Racefuzzer.instantiator =
- fun () -> instantiate ?seed ?apply_context cu ~client_classes t
+ fun () -> instantiate ?seed ?apply_context ?backend cu ~client_classes t
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -33,17 +33,20 @@ val covers : test -> Pairs.pair -> bool
 val instantiate :
   ?seed:int64 ->
   ?apply_context:bool ->
+  ?backend:Backend.t ->
   Jir.Code.unit_ ->
   client_classes:Jir.Ast.id list ->
   test ->
   (Detect.Racefuzzer.instance, string) result
 (** [apply_context:false] skips the shareObjects phase (used by the
     ablation bench to show that context derivation is what exposes the
-    races). *)
+    races).  [backend] (a prepared backend for [cu]) is installed on
+    the instance machine right after creation. *)
 
 val instantiator :
   ?seed:int64 ->
   ?apply_context:bool ->
+  ?backend:Backend.t ->
   Jir.Code.unit_ ->
   client_classes:Jir.Ast.id list ->
   test ->

@@ -79,7 +79,7 @@ let spawn m (cap : Runtime.Interp.captured) ~meth :
    roots so that B's outer lock is A's inner and vice versa (the ABBA
    crossing).  Only root-level lock paths are rewired; deeper paths rely
    on the seed state already aliasing (documented limitation). *)
-let instantiate ?(seed = 42L) (cu : Jir.Code.unit_) ~client_classes (t : test)
+let instantiate ?(seed = Runtime.Machine.default_seed) (cu : Jir.Code.unit_) ~client_classes (t : test)
     : (Detect.Racefuzzer.instance, string) result =
   let m = Runtime.Machine.create ~client_classes ~seed cu in
   let ea = t.dt_pair.Lockorder.dl_a and eb = t.dt_pair.Lockorder.dl_b in
@@ -147,7 +147,7 @@ type confirmation = {
 }
 
 (* Confirm by directed scheduling, falling back to random schedules. *)
-let confirm ?(seed = 42L) ?(random_tries = 10) (cu : Jir.Code.unit_)
+let confirm ?(seed = Runtime.Machine.default_seed) ?(random_tries = 10) (cu : Jir.Code.unit_)
     ~client_classes (t : test) : (confirmation, string) result =
   let try_sched name sched =
     match instantiate ~seed cu ~client_classes t with

@@ -72,6 +72,26 @@ let conflicting (a : Runtime.Machine.pending_access)
    pair is simultaneously enabled: return [`Report] to stop and report,
    or [`Force order] to execute the racing accesses in the given order
    and continue to completion (used by triage). *)
+(* Dense per-tid mirrors used by the directed loops below: tids are
+   small consecutive ints, so per-step membership tests and the
+   pending-access memo live in growable arrays instead of hashtables.
+   The [postponed] hashtable itself is kept — its fold order decides
+   which conflicting pair is reported first, and that order is pinned
+   by the cram suite — but the per-step paths only touch the arrays. *)
+type 'a tidmap = { mutable slots : 'a array; default : 'a }
+
+let tidmap default = { slots = Array.make 8 default; default }
+
+let tid_slot tm tid =
+  if tid >= Array.length tm.slots then begin
+    let bigger =
+      Array.make (max (tid + 1) (2 * Array.length tm.slots)) tm.default
+    in
+    Array.blit tm.slots 0 bigger 0 (Array.length tm.slots);
+    tm.slots <- bigger
+  end;
+  tid
+
 let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
     ~(on_confirm :
        [ `Report | `Force_first of unit | `Force_second of unit ]) :
@@ -81,37 +101,101 @@ let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
   let postponed : (Runtime.Value.tid, Runtime.Machine.pending_access) Hashtbl.t =
     Hashtbl.create 4
   in
+  let in_postponed = tidmap false in
   let steps = ref 0 in
   let max_postponed = ref 0 in
   let result = ref None in
-  let step_tid tid =
-    ignore (Runtime.Machine.step m tid);
+  (* A thread's pending access only changes when that thread itself
+     steps (it reads the thread's own registers and pc), so memoize it
+     per tid and invalidate on step instead of re-decoding the next
+     instruction of every runnable thread on every scheduler
+     iteration. *)
+  let pa_memo : Runtime.Machine.pending_access option option tidmap =
+    tidmap None
+  in
+  let pending th =
+    let i = tid_slot pa_memo (Runtime.Machine.thread_id th) in
+    match pa_memo.slots.(i) with
+    | Some v -> v
+    | None ->
+      let v = Runtime.Machine.pending_access_th m th in
+      pa_memo.slots.(i) <- Some v;
+      v
+  in
+  let step_th th =
+    ignore (Runtime.Machine.step_th m th);
+    pa_memo.slots.(tid_slot pa_memo (Runtime.Machine.thread_id th)) <- None;
     incr steps
+  in
+  let step_tid tid = step_th (Runtime.Machine.find_thread m tid) in
+  let postpone tid pa =
+    Hashtbl.replace postponed tid pa;
+    in_postponed.slots.(tid_slot in_postponed tid) <- true
+  in
+  let unpostpone tid =
+    Hashtbl.remove postponed tid;
+    in_postponed.slots.(tid_slot in_postponed tid) <- false
+  in
+  let reset_postponed () =
+    Hashtbl.reset postponed;
+    Array.fill in_postponed.slots 0 (Array.length in_postponed.slots) false
+  in
+  let is_postponed tid = in_postponed.slots.(tid_slot in_postponed tid) in
+  let np_ok th =
+    Runtime.Machine.runnable_th m th
+    && not (is_postponed (Runtime.Machine.thread_id th))
+  in
+  let rec count_np acc = function
+    | [] -> acc
+    | th :: rest -> count_np (if np_ok th then acc + 1 else acc) rest
+  and nth_np i = function
+    | [] -> invalid_arg "directed_run: runnable index out of range"
+    | th :: rest ->
+      if np_ok th then if i = 0 then th else nth_np (i - 1) rest
+      else nth_np i rest
+  in
+  let rec count_r acc = function
+    | [] -> acc
+    | th :: rest ->
+      count_r (if Runtime.Machine.runnable_th m th then acc + 1 else acc) rest
+  and nth_r i = function
+    | [] -> invalid_arg "directed_run: runnable index out of range"
+    | th :: rest ->
+      if Runtime.Machine.runnable_th m th then
+        if i = 0 then th else nth_r (i - 1) rest
+      else nth_r i rest
   in
   let rec loop fuel =
     if fuel <= 0 || !result <> None then ()
     else begin
       (* Refresh the postponed set: threads poised at a matching access. *)
       List.iter
-        (fun tid ->
-          if not (Hashtbl.mem postponed tid) then
-            match Runtime.Machine.pending_access m tid with
-            | Some pa when matches cand pa -> Hashtbl.replace postponed tid pa
+        (fun th ->
+          let tid = Runtime.Machine.thread_id th in
+          if (not (is_postponed tid)) && Runtime.Machine.runnable_th m th then
+            match pending th with
+            | Some pa when matches cand pa -> postpone tid pa
             | Some _ | None -> ())
-        (Runtime.Machine.runnable_tids m);
-      if Hashtbl.length postponed > !max_postponed then
-        max_postponed := Hashtbl.length postponed;
-      (* Check for a simultaneously-enabled conflicting pair. *)
-      let poised = Hashtbl.fold (fun tid pa acc -> (tid, pa) :: acc) postponed [] in
+        (Runtime.Machine.all_threads m);
+      let np = Hashtbl.length postponed in
+      if np > !max_postponed then max_postponed := np;
+      (* Check for a simultaneously-enabled conflicting pair; with fewer
+         than two postponed threads there is nothing to scan. *)
       let pair =
-        List.concat_map
-          (fun (t1, p1) ->
-            List.filter_map
-              (fun (t2, p2) ->
-                if t1 < t2 && conflicting p1 p2 then Some ((t1, p1), (t2, p2))
-                else None)
-              poised)
-          poised
+        if np < 2 then []
+        else begin
+          let poised =
+            Hashtbl.fold (fun tid pa acc -> (tid, pa) :: acc) postponed []
+          in
+          List.concat_map
+            (fun (t1, p1) ->
+              List.filter_map
+                (fun (t2, p2) ->
+                  if t1 < t2 && conflicting p1 p2 then Some ((t1, p1), (t2, p2))
+                  else None)
+                poised)
+            poised
+        end
       in
       match pair with
       | ((t1, p1), (t2, p2)) :: _ -> (
@@ -129,43 +213,40 @@ let directed_run (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
           (* Execute the racing accesses back to back, first t1's. *)
           step_tid t1;
           step_tid t2;
-          Hashtbl.reset postponed;
+          reset_postponed ();
           drain fuel
         | `Force_second () ->
           step_tid t2;
           step_tid t1;
-          Hashtbl.reset postponed;
+          reset_postponed ();
           drain fuel)
       | [] -> (
-        let runnable =
-          List.filter
-            (fun tid -> not (Hashtbl.mem postponed tid))
-            (Runtime.Machine.runnable_tids m)
-        in
-        match runnable with
-        | [] -> (
+        (* Pick among the runnable, non-postponed threads: two
+           allocation-free walks of the creation-order list, with the
+           RNG drawn between them exactly as the list-based code did
+           (same bound, one draw). *)
+        match count_np 0 (Runtime.Machine.all_threads m) with
+        | 0 -> (
           (* Everyone is postponed or blocked: release a postponed thread. *)
           let poised = Hashtbl.fold (fun tid _ acc -> tid :: acc) postponed [] in
           match List.sort Int.compare poised with
           | [] -> () (* genuine deadlock or completion *)
           | l ->
             let tid = List.nth l (pick (List.length l)) in
-            Hashtbl.remove postponed tid;
+            unpostpone tid;
             step_tid tid;
             loop (fuel - 1))
-        | l ->
-          let tid = List.nth l (pick (List.length l)) in
-          step_tid tid;
+        | k ->
+          step_th (nth_np (pick k) (Runtime.Machine.all_threads m));
           loop (fuel - 1))
     end
   and drain fuel =
     (* Finish the execution under plain random scheduling. *)
     if fuel > 0 then
-      match Runtime.Machine.runnable_tids m with
-      | [] -> ()
-      | l ->
-        let tid = List.nth l (pick (List.length l)) in
-        step_tid tid;
+      match count_r 0 (Runtime.Machine.all_threads m) with
+      | 0 -> ()
+      | k ->
+        step_th (nth_r (pick k) (Runtime.Machine.all_threads m));
         drain (fuel - 1)
   in
   loop fuel;
@@ -232,38 +313,73 @@ let directed_run_cov (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
   let steps = ref 0 in
   let max_postponed = ref 0 in
   let result = ref None in
-  let step_tid tid =
-    ignore (Runtime.Machine.step m tid);
+  let in_postponed = tidmap false in
+  (* Same per-tid memoization as [directed_run]: see the note there. *)
+  let pa_memo : Runtime.Machine.pending_access option option tidmap =
+    tidmap None
+  in
+  let pending th =
+    let i = tid_slot pa_memo (Runtime.Machine.thread_id th) in
+    match pa_memo.slots.(i) with
+    | Some v -> v
+    | None ->
+      let v = Runtime.Machine.pending_access_th m th in
+      pa_memo.slots.(i) <- Some v;
+      v
+  in
+  let step_th th =
+    ignore (Runtime.Machine.step_th m th);
+    pa_memo.slots.(tid_slot pa_memo (Runtime.Machine.thread_id th)) <- None;
     incr steps
+  in
+  let step_tid tid = step_th (Runtime.Machine.find_thread m tid) in
+  let is_postponed tid = in_postponed.slots.(tid_slot in_postponed tid) in
+  let np_ok th =
+    Runtime.Machine.runnable_th m th
+    && not (is_postponed (Runtime.Machine.thread_id th))
+  in
+  let rec count_np acc = function
+    | [] -> acc
+    | th :: rest -> count_np (if np_ok th then acc + 1 else acc) rest
+  and nth_np i = function
+    | [] -> invalid_arg "directed_run_cov: runnable index out of range"
+    | th :: rest ->
+      if np_ok th then if i = 0 then th else nth_np (i - 1) rest
+      else nth_np i rest
   in
   let rec loop fuel =
     if fuel <= 0 || !result <> None then ()
     else begin
       let changed = ref false in
       List.iter
-        (fun tid ->
-          if not (Hashtbl.mem postponed tid) then
-            match Runtime.Machine.pending_access m tid with
+        (fun th ->
+          let tid = Runtime.Machine.thread_id th in
+          if (not (is_postponed tid)) && Runtime.Machine.runnable_th m th then
+            match pending th with
             | Some pa when matches cand pa ->
               Hashtbl.replace postponed tid pa;
+              in_postponed.slots.(tid_slot in_postponed tid) <- true;
               changed := true
             | Some _ | None -> ())
-        (Runtime.Machine.runnable_tids m);
+        (Runtime.Machine.all_threads m);
       if !changed then note_postponed ();
-      if Hashtbl.length postponed > !max_postponed then
-        max_postponed := Hashtbl.length postponed;
-      let poised =
-        Hashtbl.fold (fun tid pa acc -> (tid, pa) :: acc) postponed []
-      in
+      let np = Hashtbl.length postponed in
+      if np > !max_postponed then max_postponed := np;
       let pair =
-        List.concat_map
-          (fun (t1, p1) ->
-            List.filter_map
-              (fun (t2, p2) ->
-                if t1 < t2 && conflicting p1 p2 then Some ((t1, p1), (t2, p2))
-                else None)
-              poised)
-          poised
+        if np < 2 then []
+        else begin
+          let poised =
+            Hashtbl.fold (fun tid pa acc -> (tid, pa) :: acc) postponed []
+          in
+          List.concat_map
+            (fun (t1, p1) ->
+              List.filter_map
+                (fun (t2, p2) ->
+                  if t1 < t2 && conflicting p1 p2 then Some ((t1, p1), (t2, p2))
+                  else None)
+                poised)
+            poised
+        end
       in
       match pair with
       | ((t1, p1), (t2, p2)) :: _ ->
@@ -280,25 +396,20 @@ let directed_run_cov (m : Runtime.Machine.t) ~(cand : candidate) ~seed ~fuel
                p2.Runtime.Machine.pa_site)
             !cov
       | [] -> (
-        let runnable =
-          List.filter
-            (fun tid -> not (Hashtbl.mem postponed tid))
-            (Runtime.Machine.runnable_tids m)
-        in
-        match runnable with
-        | [] -> (
+        match count_np 0 (Runtime.Machine.all_threads m) with
+        | 0 -> (
           let poised = Hashtbl.fold (fun tid _ acc -> tid :: acc) postponed [] in
           match List.sort Int.compare poised with
           | [] -> ()
           | l ->
             let tid = List.nth l (pick (List.length l)) in
             Hashtbl.remove postponed tid;
+            in_postponed.slots.(tid_slot in_postponed tid) <- false;
             note_postponed ();
             step_tid tid;
             loop (fuel - 1))
-        | l ->
-          let tid = List.nth l (pick (List.length l)) in
-          step_tid tid;
+        | k ->
+          step_th (nth_np (pick k) (Runtime.Machine.all_threads m));
           loop (fuel - 1))
     end
   in

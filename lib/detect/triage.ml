@@ -57,18 +57,43 @@ let returns_of (inst : Racefuzzer.instance) =
    given priority order (other threads, if any, after them). *)
 let run_serialized (inst : Racefuzzer.instance) ~order ~fuel : outcome =
   let m = inst.Racefuzzer.ri_machine in
-  let pick runnable =
-    match List.find_opt (fun t -> List.mem t runnable) order with
-    | Some t -> t
-    | None -> List.hd runnable
+  (* Priority scheduling draws no randomness, so the replay loop can run
+     on thread records with no per-step allocation: first runnable
+     thread in [order], else first runnable in creation order — exactly
+     the pick the tid-list version made.  [order] holds the racy
+     threads, which exist before the run, so records resolve once. *)
+  let order_ths =
+    List.filter_map
+      (fun tid ->
+        List.find_opt
+          (fun th -> Runtime.Machine.thread_id th = tid)
+          (Runtime.Machine.all_threads m))
+      order
+  in
+  let rec first_in_order = function
+    | [] -> None
+    | th :: rest ->
+      if Runtime.Machine.runnable_th m th then Some th
+      else first_in_order rest
+  in
+  let rec first_runnable = function
+    | [] -> None
+    | th :: rest ->
+      if Runtime.Machine.runnable_th m th then Some th else first_runnable rest
   in
   let rec loop fuel =
-    if fuel > 0 then
-      match Runtime.Machine.runnable_tids m with
-      | [] -> ()
-      | runnable ->
-        ignore (Runtime.Machine.step m (pick runnable));
+    if fuel > 0 then begin
+      let next =
+        match first_in_order order_ths with
+        | Some th -> Some th
+        | None -> first_runnable (Runtime.Machine.all_threads m)
+      in
+      match next with
+      | None -> ()
+      | Some th ->
+        ignore (Runtime.Machine.step_th m th);
         loop (fuel - 1)
+    end
   in
   loop fuel;
   { o_snapshot = snapshot_of inst; o_crashes = crashes_of m; o_returns = returns_of inst }
@@ -80,12 +105,17 @@ let run_forced (inst : Racefuzzer.instance) ~cand ~first ~seed ~fuel : outcome =
   (* Drain whatever is left (directed_run drains after forcing, but if
      the pair never became simultaneously enabled some threads may
      remain). *)
+  let rec first_runnable = function
+    | [] -> None
+    | th :: rest ->
+      if Runtime.Machine.runnable_th m th then Some th else first_runnable rest
+  in
   let rec drain fuel =
     if fuel > 0 then
-      match Runtime.Machine.runnable_tids m with
-      | [] -> ()
-      | t :: _ ->
-        ignore (Runtime.Machine.step m t);
+      match first_runnable (Runtime.Machine.all_threads m) with
+      | None -> ()
+      | Some th ->
+        ignore (Runtime.Machine.step_th m th);
         drain (fuel - 1)
   in
   drain fuel;

@@ -50,6 +50,7 @@ type options = {
   opt_seed : int64;
   opt_jobs : int; (* fan-out width inside one test's detection *)
   opt_static_filter : bool; (* prune pairs through the static analyzer *)
+  opt_backend : Backend.kind; (* execution backend for every VM run *)
 }
 
 let default_options =
@@ -59,6 +60,7 @@ let default_options =
     opt_seed = 7L;
     opt_jobs = 1;
     opt_static_filter = false;
+    opt_backend = Backend.default_kind ();
   }
 
 (* Execute one synthesized test under a random schedule with the hybrid
@@ -149,13 +151,14 @@ and evaluate_test_body (opts : options) (an : Narada_core.Pipeline.analysis)
     }
 
 (* Compile (through the shared registry cache) and analyze one entry. *)
-let analyze_entry ?(static_filter = false) (e : Corpus.Corpus_def.entry) :
+let analyze_entry ?(static_filter = false) ?backend
+    (e : Corpus.Corpus_def.entry) :
     (Jir.Code.unit_ * Narada_core.Pipeline.analysis, string) result =
   match Corpus.Registry.compiled_unit e with
   | exception Jir.Diag.Error d -> Error (Jir.Diag.to_string d)
   | cu -> (
     match
-      Narada_core.Pipeline.analyze cu ~static_filter
+      Narada_core.Pipeline.analyze cu ~static_filter ?backend
         ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
         ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
         ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
@@ -207,7 +210,10 @@ let assemble_class (e : Corpus.Corpus_def.entry) (cu : Jir.Code.unit_)
 
 let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
     (class_eval, string) result =
-  match analyze_entry ~static_filter:opts.opt_static_filter e with
+  match
+    analyze_entry ~static_filter:opts.opt_static_filter
+      ~backend:opts.opt_backend e
+  with
   | Error err -> Error err
   | Ok (cu, an) ->
     let t0 = Obs.Clock.ticks () in
@@ -237,7 +243,10 @@ let evaluate_corpus ?(opts = default_options) ?(jobs = 1)
     entries;
   let analyzed =
     List.map
-      (fun e -> (e, analyze_entry ~static_filter:opts.opt_static_filter e))
+      (fun e ->
+        ( e,
+          analyze_entry ~static_filter:opts.opt_static_filter
+            ~backend:opts.opt_backend e ))
       entries
   in
   let items =

@@ -45,10 +45,14 @@ type options = {
       (** intersect generated pairs with the static analyzer's
           candidate set before synthesis; [cl_pairs_pruned] reports
           how many were dropped *)
+  opt_backend : Backend.kind;
+      (** execution backend for every VM run of the campaign; prepared
+          once per analyzed class *)
 }
 
 val default_options : options
-(** 3 schedules, 6 confirmation runs, seed 7, jobs 1, no static filter. *)
+(** 3 schedules, 6 confirmation runs, seed 7, jobs 1, no static filter,
+    {!Backend.default_kind} backend. *)
 
 val evaluate_test :
   options -> Narada_core.Pipeline.analysis -> Narada_core.Synth.test -> test_eval

@@ -34,13 +34,13 @@ let detect_candidates (inst : Detect.Racefuzzer.instance) ~seed =
   Detect.Lockset.candidates lockset
 
 let confirm_class ?(schedules = 2) ?(seed = 7L) ?(jobs = 1)
-    ?(corpus = Cov.Corpus.create ()) ~(mode : mode)
+    ?(corpus = Cov.Corpus.create ()) ?backend ~(mode : mode)
     (e : Corpus.Corpus_def.entry) : (class_confirm, string) result =
   match Corpus.Registry.compiled_unit e with
   | exception Jir.Diag.Error d -> Error (Jir.Diag.to_string d)
   | cu -> (
     match
-      Narada_core.Pipeline.analyze cu
+      Narada_core.Pipeline.analyze cu ?backend
         ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
         ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
         ~seed_meth:e.Corpus.Corpus_def.e_seed_meth

@@ -336,6 +336,75 @@ let synthesis_replay ?(strict = true) ~seed cu =
     | Some detail -> Fail detail
     | None -> Pass)
 
+(* ---- the compiled-backend differential ---- *)
+
+(* The compiled backend must be observationally identical to the
+   interpreter: same outcome, step count, crashes and output — and,
+   because the closures bump the label counter in exact lockstep with
+   the events [exec_instr] would have emitted, the same final label
+   count, so an observer attached mid-run sees an identical event
+   suffix.  Checked in two parts: a full observer-free run per backend
+   (the compiled fast path stays active throughout), then a half-way
+   observer attach (trace recorder + FastTrack) comparing the event
+   suffix and the race keys found on it. *)
+let backend_diff ~seed cu =
+  let backend = Backend.prepare Backend.Compiled cu in
+  let full ~compiled () =
+    let on_machine m = if compiled then Backend.install backend m in
+    let res, m =
+      Conc.Exec.run_program ~seed:(vm_seed seed) cu ~client_classes
+        ~cls:Gen.seed_cls ~meth:Gen.main_meth ~on_machine
+        (Conc.Scheduler.random ~seed:(sched_seed seed))
+    in
+    ( res.Conc.Exec.outcome,
+      res.Conc.Exec.steps,
+      res.Conc.Exec.crashes,
+      Runtime.Machine.output m,
+      Runtime.Machine.labels_used m )
+  in
+  let ((_, steps_i, _, _, labels_i) as fi) = full ~compiled:false () in
+  let ((_, steps_c, _, _, labels_c) as fc) = full ~compiled:true () in
+  if fi <> fc then
+    Fail
+      (Printf.sprintf
+         "observer-free runs differ: steps %d vs %d, labels %d vs %d" steps_i
+         steps_c labels_i labels_c)
+  else
+    let suffix ~compiled () =
+      let recorder = Runtime.Trace.recorder () in
+      let ft = Fasttrack.create () in
+      let sched = Conc.Scheduler.random ~seed:(sched_seed seed) in
+      let on_machine m = if compiled then Backend.install backend m in
+      let r1, m =
+        Conc.Exec.run_program ~fuel:(max 1 (steps_i / 2)) ~seed:(vm_seed seed)
+          cu ~client_classes ~cls:Gen.seed_cls ~meth:Gen.main_meth ~on_machine
+          sched
+      in
+      Runtime.Machine.add_observer m (Runtime.Trace.observer recorder);
+      Runtime.Machine.add_observer m (Fasttrack.observer ft);
+      let r2 = Conc.Exec.run m sched in
+      let out =
+        ( (r1.Conc.Exec.outcome, r2.Conc.Exec.outcome),
+          r1.Conc.Exec.steps + r2.Conc.Exec.steps,
+          r1.Conc.Exec.crashes @ r2.Conc.Exec.crashes,
+          Runtime.Machine.output m,
+          Runtime.Machine.labels_used m,
+          Runtime.Trace.to_string (Runtime.Trace.snapshot recorder),
+          List.sort Race.compare_key
+            (List.map Race.key_of (Fasttrack.reports ft)) )
+      in
+      Runtime.Trace.recycle recorder;
+      out
+    in
+    let ((_, _, _, _, _, ti, ri) as si) = suffix ~compiled:false () in
+    let ((_, _, _, _, _, tc, rc) as sc) = suffix ~compiled:true () in
+    if si = sc then Pass
+    else if not (String.equal ti tc) then
+      Fail "event suffix after mid-run observer attach differs"
+    else if ri <> rc then
+      Fail "race keys after mid-run observer attach differ"
+    else Fail "mid-run attach runs differ (outcome/steps/output/labels)"
+
 (* ---- the suite ---- *)
 
 (* Oracles run arbitrary (shrunk) programs end-to-end; a candidate with
@@ -356,6 +425,7 @@ let names =
     "lockset-superset";
     "static-superset";
     "synthesis-replay";
+    "backend-diff";
   ]
 
 (* Oracles past the front-end need a compiled unit; if compilation
@@ -392,6 +462,7 @@ let check ?mutate ~seed program =
           "lockset-superset";
           "static-superset";
           "synthesis-replay";
+          "backend-diff";
         ]
   | cu ->
     front
@@ -405,6 +476,8 @@ let check ?mutate ~seed program =
             guarded (fun () -> static_superset ?mutate ~seed cu));
         timed "synthesis-replay" (fun () ->
             guarded (fun () -> synthesis_replay ~seed cu));
+        timed "backend-diff" (fun () ->
+            guarded (fun () -> backend_diff ~seed cu));
       ]
 
 let first_failure ?mutate ~seed program =
@@ -430,6 +503,7 @@ let fails_oracle ?mutate ~seed ~oracle program =
         | "lockset-superset" -> lockset_superset ?mutate ~seed cu
         | "static-superset" -> static_superset ?mutate ~seed cu
         | "synthesis-replay" -> synthesis_replay ~strict:false ~seed cu
+        | "backend-diff" -> backend_diff ~seed cu
         | _ -> Pass))
   in
   match (try run_one () with _ -> Pass) with Pass -> false | Fail _ -> true

@@ -51,7 +51,13 @@ val check :
     - ["synthesis-replay"]: the Narada pipeline runs on the sequential
       seed test, and every synthesized test instantiates and replays
       deterministically (two instantiations behave identically under
-      the same directed-scheduler seed). *)
+      the same directed-scheduler seed);
+    - ["backend-diff"]: the compiled closure backend is observationally
+      identical to the interpreter — same outcome, steps, crashes,
+      output and final event-label count on an observer-free run, and
+      an observer (trace recorder + FastTrack) attached halfway through
+      sees a byte-identical event suffix and the same race keys under
+      both backends. *)
 
 val first_failure :
   ?mutate:mutation -> seed:int64 -> Jir.Ast.program -> (string * string) option

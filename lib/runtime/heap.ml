@@ -1,58 +1,142 @@
 (* The mutable heap of the Jir virtual machine: objects, arrays,
    per-class pseudo-objects holding static fields, and the reentrant
-   monitor attached to every heap cell. *)
+   monitor attached to every heap cell.
+
+   Representation, sized for the replay-heavy stages that allocate a
+   fresh heap per run and then hammer it with field accesses:
+
+   - addresses are dense (1, 2, 3, ... with no holes), so the cell
+     store is a growable array indexed by [addr - 1] rather than a hash
+     table — a cell lookup is one bounds check and one read;
+   - object fields live in a [Value.t array] positioned by a per-class
+     [layout] (field name -> slot, in declaration order).  Layouts are
+     interned per (heap, class), so every instance of a class shares
+     one layout record, and the compiled backend can cache a resolved
+     slot per access site behind a physical-equality check on the
+     layout.  Field counts are small, so the by-name lookup is a linear
+     scan — cheaper than hashing the name. *)
+
+type layout = {
+  l_cls : Jir.Ast.id;
+  l_names : Jir.Ast.id array; (* declaration order *)
+  l_tys : Jir.Ast.ty array;
+  l_defaults : Value.t array; (* initial value per slot *)
+}
 
 type obj_kind =
-  | Kobject of { cls : Jir.Ast.id; fields : (Jir.Ast.id, Value.t) Hashtbl.t }
+  | Kobject of { cls : Jir.Ast.id; layout : layout; fields : Value.t array }
   | Karray of { elt : Jir.Ast.ty; data : Value.t array }
-  | Kclassobj of { cls : Jir.Ast.id; fields : (Jir.Ast.id, Value.t) Hashtbl.t }
+  | Kclassobj of { cls : Jir.Ast.id; layout : layout; fields : Value.t array }
 
 type monitor = { mutable owner : Value.tid option; mutable depth : int }
 
 type cell = { addr : Value.addr; kind : obj_kind; monitor : monitor }
 
-type t = { mutable next : Value.addr; cells : (Value.addr, cell) Hashtbl.t }
+type t = {
+  mutable next : Value.addr;
+  mutable cells : cell array; (* slot [addr - 1]; valid below [next - 1] *)
+  obj_layouts : (Jir.Ast.id, layout) Hashtbl.t; (* instance-field layouts *)
+  cls_layouts : (Jir.Ast.id, layout) Hashtbl.t; (* static-field layouts *)
+}
 
 exception Fault of string
 (* Heap faults (null/bounds/type confusion) become thread crashes. *)
 
 let fault fmt = Format.kasprintf (fun m -> raise (Fault m)) fmt
 
-let create () = { next = 1; cells = Hashtbl.create 256 }
+(* Placeholder for unallocated slots of the backing array; unreachable
+   through [cell] because of its bounds check. *)
+let dummy_cell =
+  {
+    addr = 0;
+    kind = Karray { elt = Jir.Ast.Tint; data = [||] };
+    monitor = { owner = None; depth = 0 };
+  }
+
+let create () =
+  {
+    next = 1;
+    cells = Array.make 256 dummy_cell;
+    obj_layouts = Hashtbl.create 16;
+    cls_layouts = Hashtbl.create 16;
+  }
 
 let fresh_monitor () = { owner = None; depth = 0 }
 
 let cell t addr =
-  match Hashtbl.find_opt t.cells addr with
-  | Some c -> c
-  | None -> fault "dangling address @%d" addr
+  if addr >= 1 && addr < t.next then Array.unsafe_get t.cells (addr - 1)
+  else fault "dangling address @%d" addr
 
-let alloc_object t ~cls ~(field_tys : (Jir.Ast.id * Jir.Ast.ty) list) =
+(* ---------------- layouts ---------------- *)
+
+let make_layout cls (field_tys : (Jir.Ast.id * Jir.Ast.ty) list) : layout =
+  {
+    l_cls = cls;
+    l_names = Array.of_list (List.map fst field_tys);
+    l_tys = Array.of_list (List.map snd field_tys);
+    l_defaults =
+      Array.of_list (List.map (fun (_, ty) -> Value.default_of_ty ty) field_tys);
+  }
+
+let layout_matches (l : layout) field_tys =
+  let n = Array.length l.l_names in
+  let rec go i = function
+    | [] -> i = n
+    | (f, ty) :: rest ->
+      i < n && String.equal l.l_names.(i) f && l.l_tys.(i) = ty && go (i + 1) rest
+  in
+  go 0 field_tys
+
+(* Intern the layout for [cls]: every well-formed program allocates a
+   class with one field list, so the cache hits after the first
+   allocation.  A mismatching list (possible for hand-built units in
+   tests) gets a private layout — correctness over sharing. *)
+let layout_for tbl cls field_tys =
+  match Hashtbl.find_opt tbl cls with
+  | Some l when layout_matches l field_tys -> l
+  | Some _ -> make_layout cls field_tys
+  | None ->
+    let l = make_layout cls field_tys in
+    Hashtbl.replace tbl cls l;
+    l
+
+let slot_of (l : layout) f =
+  let names = l.l_names in
+  let n = Array.length names in
+  let rec go i =
+    if i >= n then -1
+    else if String.equal (Array.unsafe_get names i) f then i
+    else go (i + 1)
+  in
+  go 0
+
+let layout_names (l : layout) = l.l_names
+
+(* ---------------- allocation ---------------- *)
+
+let push_cell t kind =
   let addr = t.next in
   t.next <- addr + 1;
-  let fields = Hashtbl.create (max 4 (List.length field_tys)) in
-  List.iter (fun (f, ty) -> Hashtbl.replace fields f (Value.default_of_ty ty)) field_tys;
-  Hashtbl.replace t.cells addr
-    { addr; kind = Kobject { cls; fields }; monitor = fresh_monitor () };
+  let i = addr - 1 in
+  if i >= Array.length t.cells then begin
+    let bigger = Array.make (2 * Array.length t.cells) dummy_cell in
+    Array.blit t.cells 0 bigger 0 (Array.length t.cells);
+    t.cells <- bigger
+  end;
+  t.cells.(i) <- { addr; kind; monitor = fresh_monitor () };
   addr
+
+let alloc_object t ~cls ~(field_tys : (Jir.Ast.id * Jir.Ast.ty) list) =
+  let layout = layout_for t.obj_layouts cls field_tys in
+  push_cell t (Kobject { cls; layout; fields = Array.copy layout.l_defaults })
 
 let alloc_array t ~elt ~len =
   if len < 0 then fault "negative array size %d" len;
-  let addr = t.next in
-  t.next <- addr + 1;
-  let data = Array.make len (Value.default_of_ty elt) in
-  Hashtbl.replace t.cells addr
-    { addr; kind = Karray { elt; data }; monitor = fresh_monitor () };
-  addr
+  push_cell t (Karray { elt; data = Array.make len (Value.default_of_ty elt) })
 
 let alloc_classobj t ~cls ~(field_tys : (Jir.Ast.id * Jir.Ast.ty) list) =
-  let addr = t.next in
-  t.next <- addr + 1;
-  let fields = Hashtbl.create (max 4 (List.length field_tys)) in
-  List.iter (fun (f, ty) -> Hashtbl.replace fields f (Value.default_of_ty ty)) field_tys;
-  Hashtbl.replace t.cells addr
-    { addr; kind = Kclassobj { cls; fields }; monitor = fresh_monitor () };
-  addr
+  let layout = layout_for t.cls_layouts cls field_tys in
+  push_cell t (Kclassobj { cls; layout; fields = Array.copy layout.l_defaults })
 
 let class_of t addr =
   match (cell t addr).kind with
@@ -64,24 +148,64 @@ let is_array t addr =
 
 let get_field t addr f =
   match (cell t addr).kind with
-  | Kobject { fields; cls } | Kclassobj { fields; cls } -> (
-    match Hashtbl.find_opt fields f with
-    | Some v -> v
-    | None -> fault "object @%d of class %s has no field %s" addr cls f)
+  | Kobject { fields; cls; layout } | Kclassobj { fields; cls; layout } ->
+    let s = slot_of layout f in
+    if s >= 0 then Array.unsafe_get fields s
+    else fault "object @%d of class %s has no field %s" addr cls f
   | Karray _ -> fault "field access %s on an array" f
 
 let set_field t addr f v =
   match (cell t addr).kind with
-  | Kobject { fields; cls } | Kclassobj { fields; cls } ->
-    if not (Hashtbl.mem fields f) then
-      fault "object @%d of class %s has no field %s" addr cls f;
-    Hashtbl.replace fields f v
+  | Kobject { fields; cls; layout } | Kclassobj { fields; cls; layout } ->
+    let s = slot_of layout f in
+    if s >= 0 then Array.unsafe_set fields s v
+    else fault "object @%d of class %s has no field %s" addr cls f
+  | Karray _ -> fault "field write %s on an array" f
+
+(* Per-access-site inline cache for the compiled backend: one resolved
+   (layout, slot) pair behind a physical-equality check on the layout.
+   Compiled code (and therefore its caches) is shared across machines
+   and domains; layouts are interned per heap, so a cache cell refilled
+   by one machine misses on another.  A racing refill is benign — the
+   cell holds an immutable pair read once — and within one machine (the
+   replay-hot case: a fresh machine per run hammered by one loop) every
+   access after the first is a pointer compare and an array read. *)
+type field_cache = (layout * int) option ref
+
+let new_field_cache () : field_cache = ref None
+
+let get_field_cached t (c : field_cache) addr f =
+  match (cell t addr).kind with
+  | Kobject { fields; cls; layout } | Kclassobj { fields; cls; layout } -> (
+    match !c with
+    | Some (l, s) when l == layout -> Array.unsafe_get fields s
+    | Some _ | None ->
+      let s = slot_of layout f in
+      if s >= 0 then begin
+        c := Some (layout, s);
+        Array.unsafe_get fields s
+      end
+      else fault "object @%d of class %s has no field %s" addr cls f)
+  | Karray _ -> fault "field access %s on an array" f
+
+let set_field_cached t (c : field_cache) addr f v =
+  match (cell t addr).kind with
+  | Kobject { fields; cls; layout } | Kclassobj { fields; cls; layout } -> (
+    match !c with
+    | Some (l, s) when l == layout -> Array.unsafe_set fields s v
+    | Some _ | None ->
+      let s = slot_of layout f in
+      if s >= 0 then begin
+        c := Some (layout, s);
+        Array.unsafe_set fields s v
+      end
+      else fault "object @%d of class %s has no field %s" addr cls f)
   | Karray _ -> fault "field write %s on an array" f
 
 let field_names t addr =
   match (cell t addr).kind with
-  | Kobject { fields; _ } | Kclassobj { fields; _ } ->
-    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) fields [])
+  | Kobject { layout; _ } | Kclassobj { layout; _ } ->
+    List.sort String.compare (Array.to_list layout.l_names)
   | Karray _ -> []
 
 let array_len t addr =
@@ -142,4 +266,4 @@ let force_release t addr ~tid =
     m.owner <- None
   | Some _ | None -> ()
 
-let size t = Hashtbl.length t.cells
+let size t = t.next - 1

@@ -2,10 +2,20 @@
     per-class pseudo-objects holding static fields, and the reentrant
     monitor attached to every heap cell. *)
 
+(** Field positions of one class, interned per (heap, class): every
+    instance shares one layout record, so a resolved slot can be cached
+    behind a physical-equality check on the layout. *)
+type layout = {
+  l_cls : Jir.Ast.id;
+  l_names : Jir.Ast.id array;  (** declaration order *)
+  l_tys : Jir.Ast.ty array;
+  l_defaults : Value.t array;  (** initial value per slot *)
+}
+
 type obj_kind =
-  | Kobject of { cls : Jir.Ast.id; fields : (Jir.Ast.id, Value.t) Hashtbl.t }
+  | Kobject of { cls : Jir.Ast.id; layout : layout; fields : Value.t array }
   | Karray of { elt : Jir.Ast.ty; data : Value.t array }
-  | Kclassobj of { cls : Jir.Ast.id; fields : (Jir.Ast.id, Value.t) Hashtbl.t }
+  | Kclassobj of { cls : Jir.Ast.id; layout : layout; fields : Value.t array }
 
 type monitor = { mutable owner : Value.tid option; mutable depth : int }
 
@@ -18,7 +28,15 @@ exception Fault of string
     turns them into thread crashes. *)
 
 val create : unit -> t
+
 val cell : t -> Value.addr -> cell
+(** One bounds check and one array read: addresses are dense. *)
+
+val slot_of : layout -> Jir.Ast.id -> int
+(** Field slot in [l_names] order, or [-1] when the layout has no such
+    field. *)
+
+val layout_names : layout -> Jir.Ast.id array
 
 val alloc_object :
   t -> cls:Jir.Ast.id -> field_tys:(Jir.Ast.id * Jir.Ast.ty) list -> Value.addr
@@ -34,6 +52,18 @@ val class_of : t -> Value.addr -> Jir.Ast.id option
 val is_array : t -> Value.addr -> bool
 val get_field : t -> Value.addr -> Jir.Ast.id -> Value.t
 val set_field : t -> Value.addr -> Jir.Ast.id -> Value.t -> unit
+
+type field_cache
+(** Per-access-site inline cache: a resolved (layout, slot) pair behind
+    a physical-equality check on the layout.  Safe to share across
+    machines and domains (racing refills are benign); faults are
+    byte-identical to the uncached accessors. *)
+
+val new_field_cache : unit -> field_cache
+val get_field_cached : t -> field_cache -> Value.addr -> Jir.Ast.id -> Value.t
+
+val set_field_cached :
+  t -> field_cache -> Value.addr -> Jir.Ast.id -> Value.t -> unit
 
 val field_names : t -> Value.addr -> Jir.Ast.id list
 (** Sorted field names of an object ([[]] for arrays). *)

@@ -15,9 +15,11 @@ let find_entry cu ~cls ~meth =
 
 (* Run static method [cls.meth()] on a fresh machine; returns the
    machine and the recorded trace. *)
-let record ?(seed = 42L) ?(fuel = Machine.default_fuel) (cu : Code.unit_)
+let record ?(seed = Machine.default_seed) ?(fuel = Machine.default_fuel)
+    ?(on_machine = fun (_ : Machine.t) -> ()) (cu : Code.unit_)
     ~client_classes ~cls ~meth : Machine.t * Trace.t * (Value.t option, string) result =
   let m = Machine.create ~client_classes ~seed cu in
+  on_machine m;
   let rec_ = Trace.attach m in
   let cm = find_entry cu ~cls ~meth in
   let tid = Machine.new_thread m ~client:true ~cm ~recv:None ~args:[] () in
@@ -30,9 +32,10 @@ let record ?(seed = 42L) ?(fuel = Machine.default_fuel) (cu : Code.unit_)
   (m, trace, res)
 
 (* Convenience used throughout tests: run [cls.main()]. *)
-let run_main ?(seed = 42L) (cu : Code.unit_) ~cls :
-    (Value.t option, string) result * string =
+let run_main ?(seed = Machine.default_seed) ?(on_machine = fun (_ : Machine.t) -> ())
+    (cu : Code.unit_) ~cls : (Value.t option, string) result * string =
   let m = Machine.create ~client_classes:[ cls ] ~seed cu in
+  on_machine m;
   let cm = find_entry cu ~cls ~meth:"main" in
   let res = Machine.call m ~client:true ~cm ~recv:None ~args:[] () in
   (res, Machine.output m)
@@ -53,16 +56,20 @@ let run_until_call ?(fuel = Machine.default_fuel) (m : Machine.t) ~cls ~meth
   let cu = Machine.unit_of m in
   let cm = find_entry cu ~cls ~meth in
   let tid = Machine.new_thread m ~client:true ~cm ~recv:None ~args:[] () in
+  (* Hoist the thread record: this loop runs once per instruction of the
+     seed test, and the record-based queries skip the per-step tid
+     lookups. *)
+  let th = Machine.find_thread m tid in
   let count = ref 0 in
   let rec loop n =
     if n <= 0 then None
     else
       let is_client_caller =
-        match Machine.frames_of m tid with
-        | f :: _ -> Machine.is_client_frame m f
-        | [] -> true
+        match Machine.top_frame_th th with
+        | Some f -> Machine.is_client_frame m f
+        | None -> true
       in
-      match Machine.pending_call m tid with
+      match Machine.pending_call_th m th with
       | Some (target, recv, args)
         when is_client_caller
              && String.equal target.Code.cm_qname target_qname ->
@@ -73,9 +80,9 @@ let run_until_call ?(fuel = Machine.default_fuel) (m : Machine.t) ~cls ~meth
           step_and_continue n)
       | Some _ | None -> step_and_continue n
   and step_and_continue n =
-    match Machine.step m tid with
+    match Machine.step_th m th with
     | Machine.Stepped -> (
-      match Machine.status m tid with
+      match Machine.status_th th with
       | Machine.Finished _ | Machine.Crashed _ | Machine.Suspended -> None
       | Machine.Runnable | Machine.Blocked_lock _ | Machine.Blocked_join _ ->
         loop (n - 1))

@@ -7,16 +7,19 @@
 val record :
   ?seed:int64 ->
   ?fuel:int ->
+  ?on_machine:(Machine.t -> unit) ->
   Jir.Code.unit_ ->
   client_classes:Jir.Ast.id list ->
   cls:Jir.Ast.id ->
   meth:Jir.Ast.id ->
   Machine.t * Trace.t * (Value.t option, string) result
 (** Run static method [cls.meth()] on a fresh machine, recording the
-    trace. *)
+    trace.  [on_machine] runs right after machine creation (before any
+    stepping) — how backends install compiled code. *)
 
 val run_main :
   ?seed:int64 ->
+  ?on_machine:(Machine.t -> unit) ->
   Jir.Code.unit_ ->
   cls:Jir.Ast.id ->
   (Value.t option, string) result * string

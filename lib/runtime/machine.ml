@@ -13,15 +13,6 @@
 
 open Jir
 
-type frame = {
-  fid : Event.frame_id;
-  meth : Code.meth;
-  regs : Value.t array;
-  mutable pc : int;
-  mutable entered : Value.addr list; (* monitors entered by this frame *)
-  ret_dst : Code.reg option; (* caller register receiving the result *)
-}
-
 type status =
   | Runnable
   | Blocked_lock of Value.addr
@@ -30,7 +21,25 @@ type status =
   | Finished of Value.t option
   | Crashed of string
 
-type thread = {
+(* [frame], [thread], [t] and [exec] are mutually recursive: a frame
+   carries the compiled body of its method (an array of closures, one
+   per pc), and those closures step the machine.  Both [thread] and [t]
+   carry an [rng] field, hence the scoped warning-30 exemption. *)
+[@@@warning "-30"]
+
+type frame = {
+  fid : Event.frame_id;
+  meth : Code.meth;
+  regs : Value.t array;
+  mutable pc : int;
+  mutable entered : Value.addr list; (* monitors entered by this frame *)
+  ret_dst : Code.reg option; (* caller register receiving the result *)
+  mutable comp : exec array;
+    (* Compiled body, indexed by pc; physically [no_comp] when this
+       machine interprets (no engine installed or method not compiled). *)
+}
+
+and thread = {
   tid : Value.tid;
   mutable stack : frame list;
   mutable status : status;
@@ -41,12 +50,12 @@ type thread = {
        deterministic. *)
 }
 
-type t = {
+and t = {
   cu : Code.unit_;
   heap : Heap.t;
   class_objs : (Ast.id, Value.addr) Hashtbl.t;
   threads : (Value.tid, thread) Hashtbl.t;
-  mutable thread_order : Value.tid list; (* creation order, reversed *)
+  mutable thread_list : thread list; (* creation order *)
   mutable next_tid : int;
   mutable next_fid : int;
   mutable next_label : int;
@@ -54,7 +63,36 @@ type t = {
   client_classes : (Ast.id, unit) Hashtbl.t;
   mutable rng : int64;
   out : Buffer.t;
+  mutable engine : engine option; (* compiled backend, if installed *)
 }
+
+and exec = t -> thread -> frame -> bool
+
+and engine = {
+  en_tbl : (string * bool * int, exec array) Hashtbl.t;
+    (* (qname, static, nparams) -> compiled body.  Read-only after
+       compilation, so it is safe to share one engine across machines
+       (and across domains). *)
+  en_units : int; (* methods compiled *)
+  en_instrs : int; (* instructions compiled *)
+}
+
+[@@@warning "+30"]
+
+let no_comp : exec array = [||]
+
+let meth_key (cm : Code.meth) =
+  (cm.Code.cm_qname, cm.Code.cm_static, cm.Code.cm_nparams)
+
+let comp_for m (cm : Code.meth) =
+  match m.engine with
+  | None -> no_comp
+  | Some en -> (
+    match Hashtbl.find_opt en.en_tbl (meth_key cm) with
+    | Some a -> a
+    | None -> no_comp)
+
+let default_seed = 42L
 
 exception Crash of string
 (* Internal: raised while executing one instruction; converted into a
@@ -105,7 +143,7 @@ let new_frame m ~(cm : Code.meth) ~recv ~args ~ret_dst =
     | None -> 0
   in
   List.iteri (fun i v -> regs.(base + i) <- v) args;
-  { fid; meth = cm; regs; pc = 0; entered = []; ret_dst }
+  { fid; meth = cm; regs; pc = 0; entered = []; ret_dst; comp = comp_for m cm }
 
 (* Emit the Invoke and Param ("I_i := ...") events for a pushed frame. *)
 let emit_invoke_events m ~tid ~caller ~client (f : frame) ~recv ~args =
@@ -149,7 +187,7 @@ let new_thread_internal m ~cm ~recv ~args ~spawned_client =
     }
   in
   Hashtbl.replace m.threads tid th;
-  m.thread_order <- tid :: m.thread_order;
+  m.thread_list <- m.thread_list @ [ th ];
   let client = spawned_client && not (is_client_class m cm.Code.cm_cls) in
   emit_invoke_events m ~tid ~caller:None ~client f ~recv ~args;
   tid
@@ -161,7 +199,15 @@ let thread m tid =
 
 let status m tid = (thread m tid).status
 
-let threads m = List.rev m.thread_order
+let threads m = List.map (fun th -> th.tid) m.thread_list
+
+(* Record-based variants of the stepping API: driver loops that run
+   millions of steps hoist the thread record once instead of paying a
+   hash lookup per query.  [thread] above is the tid -> record bridge. *)
+let find_thread = thread
+let thread_id (th : thread) = th.tid
+let status_th (th : thread) = th.status
+let all_threads m = m.thread_list
 
 (* ---------------- instruction execution ---------------- *)
 
@@ -253,16 +299,18 @@ let call_is_client m th ~callee_cls =
   in
   caller_is_client && not (is_client_class m callee_cls)
 
-let fieldinit_chain m cls =
+let fieldinit_chain_of (cu : Code.unit_) cls =
   (* Field initializers along the superclass chain, superclass first. *)
-  let chain = Program.ancestors m.cu.Code.cu_program cls in
+  let chain = Program.ancestors cu.Code.cu_program cls in
   List.rev
     (List.filter_map
        (fun (c : Ast.class_decl) ->
-         match Code.find_cls m.cu c.Ast.c_name with
+         match Code.find_cls cu c.Ast.c_name with
          | Some cc -> cc.Code.cc_fieldinit
          | None -> None)
        chain)
+
+let fieldinit_chain m cls = fieldinit_chain_of m.cu cls
 
 (* Release every monitor still held by the frames of a crashing thread,
    emitting Unlock events so detectors see a consistent lock state. *)
@@ -685,31 +733,534 @@ let exec_instr m th (f : frame) : bool =
     else crash "%s" msg
   | Code.Ithrow msg -> crash "%s" msg
 
+(* ---------------- compiled backend ---------------- *)
+
+(* The compiled engine translates each method body into an array of
+   closures, one per pc: constants are materialized, branch targets and
+   static call targets pre-resolved, field-initializer chains
+   precomputed, and virtual calls go through a per-site inline cache.
+
+   The closures are *observer-free fast paths*: [step] routes through
+   them only when no observer is registered, so they skip building
+   Event records entirely — but they advance [next_label] in exact
+   lockstep with [exec_instr] (which consumes a label for every event
+   it would emit, observers or not).  A machine can therefore flip
+   between the two mid-run (e.g. when a detector attaches after
+   instantiation) without perturbing any subsequent event label. *)
+
+let bump m n = m.next_label <- m.next_label + n
+
+let rec remove_one_addr a = function
+  | [] -> []
+  | x :: rest -> if x = a then rest else x :: remove_one_addr a rest
+
+(* Fast twin of [push_call]: copies argument registers directly and
+   advances the label counter by what [emit_invoke_events] would have
+   consumed (Invoke + receiver Param + one Param per argument). *)
+let fast_push m th ~(cm : Code.meth) ~recv ~(caller : frame)
+    ~(argr : int array) ~ret_dst =
+  let fid = m.next_fid in
+  m.next_fid <- fid + 1;
+  let nregs = max cm.Code.cm_nregs (cm.Code.cm_nparams + 1) in
+  let regs = Array.make nregs Value.Vnull in
+  let base =
+    match recv with
+    | Some v ->
+      regs.(0) <- v;
+      1
+    | None -> 0
+  in
+  let n = Array.length argr in
+  for i = 0 to n - 1 do
+    regs.(base + i) <- caller.regs.(argr.(i))
+  done;
+  let f =
+    { fid; meth = cm; regs; pc = 0; entered = []; ret_dst; comp = comp_for m cm }
+  in
+  th.stack <- f :: th.stack;
+  bump m (1 + base + n)
+
+(* Fast twin of [do_return]: one label per lingering Unlock plus the
+   Return label. *)
+let fast_return m th (f : frame) (v : Value.t option) =
+  List.iter
+    (fun addr ->
+      Heap.exit m.heap addr ~tid:th.tid;
+      bump m 1)
+    f.entered;
+  f.entered <- [];
+  th.stack <- List.tl th.stack;
+  bump m 1;
+  (match (th.stack, f.ret_dst, v) with
+  | p :: _, Some r, Some v -> p.regs.(r) <- v
+  | _, _, _ -> ());
+  if th.stack = [] then th.status <- Finished v
+
+(* Fast twin of [new_thread_internal]: Invoke + receiver Param + one
+   Param per argument (the Spawned label is bumped by the caller). *)
+let fast_spawn m ~(cm : Code.meth) ~recv ~(caller : frame)
+    ~(argr : int array) ~spawned_client =
+  let tid = m.next_tid in
+  m.next_tid <- tid + 1;
+  let fid = m.next_fid in
+  m.next_fid <- fid + 1;
+  let nregs = max cm.Code.cm_nregs (cm.Code.cm_nparams + 1) in
+  let regs = Array.make nregs Value.Vnull in
+  regs.(0) <- recv;
+  let n = Array.length argr in
+  for i = 0 to n - 1 do
+    regs.(1 + i) <- caller.regs.(argr.(i))
+  done;
+  let f =
+    { fid; meth = cm; regs; pc = 0; entered = []; ret_dst = None; comp = comp_for m cm }
+  in
+  let th =
+    {
+      tid;
+      stack = [ f ];
+      status = Runnable;
+      spawned_client;
+      rng = Int64.add m.rng (Int64.mul 0x2545F4914F6CDD1DL (Int64.of_int (tid + 1)));
+    }
+  in
+  Hashtbl.replace m.threads tid th;
+  m.thread_list <- m.thread_list @ [ th ];
+  bump m (2 + n);
+  tid
+
+(* Per-call-site inline cache for virtual resolution.  The cached cell
+   is an immutable tuple read once, so sharing compiled code across
+   domains is safe: a racing refill at worst re-resolves. *)
+let resolve_virtual_cached cache m recv ~mname ~what =
+  let a = addr_of_exn recv ~what in
+  match Heap.class_of m.heap a with
+  | None -> crash "method call %s on an array" mname
+  | Some cls -> (
+    match !cache with
+    | Some (c, cm) when String.equal c cls -> cm
+    | Some _ | None -> (
+      match Code.find_virtual m.cu cls mname with
+      | Some cm ->
+        cache := Some (cls, cm);
+        cm
+      | None -> crash "class %s has no method %s" cls mname))
+
+let compile_intrinsic ~next dst intr (argr : int array) : exec =
+  let module I = Intrinsics in
+  (* Mirrors the (dst, result) handling of [exec_instr]'s Iintrinsic
+     case: a destination register consumes one Const label whether or
+     not the intrinsic produced a value. *)
+  let ret m (f : frame) v =
+    (match dst with
+    | Some d ->
+      f.regs.(d) <- v;
+      bump m 1
+    | None -> ());
+    f.pc <- next;
+    true
+  in
+  match (intr, argr) with
+  | I.Rand_int, [| b |] ->
+    fun m th f ->
+      let v =
+        Value.Vint (rand_int th ~bound:(int_of_exn f.regs.(b) ~what:"randInt"))
+      in
+      ret m f v
+  | I.Print, [| s |] ->
+    fun m _ f ->
+      Buffer.add_string m.out (Value.to_string f.regs.(s));
+      Buffer.add_char m.out '\n';
+      ret m f Value.Vnull
+  | I.Arraycopy, [| srcr; spr; dstr; dpr; lenr |] ->
+    fun m _ f ->
+      let src = addr_of_exn f.regs.(srcr) ~what:"arraycopy src" in
+      let dsta = addr_of_exn f.regs.(dstr) ~what:"arraycopy dst" in
+      let sp = int_of_exn f.regs.(spr) ~what:"arraycopy" in
+      let dp = int_of_exn f.regs.(dpr) ~what:"arraycopy" in
+      let len = int_of_exn f.regs.(lenr) ~what:"arraycopy" in
+      for i = 0 to len - 1 do
+        Heap.array_set m.heap dsta (dp + i) (Heap.array_get m.heap src (sp + i));
+        bump m 2
+      done;
+      ret m f Value.Vnull
+  | I.Abs, [| v |] ->
+    fun m _ f -> ret m f (Value.Vint (abs (int_of_exn f.regs.(v) ~what:"abs")))
+  | I.Min, [| a; b |] ->
+    fun m _ f ->
+      ret m f
+        (Value.Vint
+           (min (int_of_exn f.regs.(a) ~what:"min") (int_of_exn f.regs.(b) ~what:"min")))
+  | I.Max, [| a; b |] ->
+    fun m _ f ->
+      ret m f
+        (Value.Vint
+           (max (int_of_exn f.regs.(a) ~what:"max") (int_of_exn f.regs.(b) ~what:"max")))
+  | I.Str_len, [| s |] ->
+    fun m _ f ->
+      ret m f (Value.Vint (String.length (str_of_exn f.regs.(s) ~what:"strlen")))
+  | I.Char_at, [| s; i |] ->
+    fun m _ f ->
+      let s = str_of_exn f.regs.(s) ~what:"charAt" in
+      let i = int_of_exn f.regs.(i) ~what:"charAt" in
+      ret m f
+        (if i < 0 || i >= String.length s then Value.Vint (-1)
+         else Value.Vint (Char.code s.[i]))
+  | I.Concat, [| a; b |] ->
+    fun m _ f ->
+      ret m f
+        (Value.Vstr
+           (str_of_exn f.regs.(a) ~what:"concat" ^ str_of_exn f.regs.(b) ~what:"concat"))
+  | ( ( I.Rand_int | I.Print | I.Arraycopy | I.Abs | I.Min | I.Max | I.Str_len
+      | I.Char_at | I.Concat ),
+      _ ) ->
+    fun _ _ _ -> crash "intrinsic arity mismatch"
+
+let compile_instr (cu : Code.unit_) ~pc (instr : Code.instr) : exec =
+  let next = pc + 1 in
+  match instr with
+  | Code.Iconst (d, c) ->
+    let v = const_value c in
+    fun m _ f ->
+      f.regs.(d) <- v;
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Imove (d, s) ->
+    fun m _ f ->
+      f.regs.(d) <- f.regs.(s);
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Iget (d, o, field) ->
+    let what = "read of ." ^ field in
+    let fc = Heap.new_field_cache () in
+    fun m _ f ->
+      let a = addr_of_exn f.regs.(o) ~what in
+      f.regs.(d) <- Heap.get_field_cached m.heap fc a field;
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Iset (o, field, s) ->
+    let what = "write of ." ^ field in
+    let fc = Heap.new_field_cache () in
+    fun m _ f ->
+      let a = addr_of_exn f.regs.(o) ~what in
+      Heap.set_field_cached m.heap fc a field f.regs.(s);
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Igetstatic (d, cls, field) ->
+    let fc = Heap.new_field_cache () in
+    fun m _ f ->
+      let a = class_obj m cls in
+      f.regs.(d) <- Heap.get_field_cached m.heap fc a field;
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Isetstatic (cls, field, s) ->
+    let fc = Heap.new_field_cache () in
+    fun m _ f ->
+      let a = class_obj m cls in
+      Heap.set_field_cached m.heap fc a field f.regs.(s);
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Iaload (d, ar, ir) ->
+    fun m _ f ->
+      let a = addr_of_exn f.regs.(ar) ~what:"array read" in
+      let i = int_of_exn f.regs.(ir) ~what:"array index" in
+      f.regs.(d) <- Heap.array_get m.heap a i;
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Iastore (ar, ir, s) ->
+    fun m _ f ->
+      let a = addr_of_exn f.regs.(ar) ~what:"array write" in
+      let i = int_of_exn f.regs.(ir) ~what:"array index" in
+      Heap.array_set m.heap a i f.regs.(s);
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Ialen (d, ar) ->
+    fun m _ f ->
+      let a = addr_of_exn f.regs.(ar) ~what:"array length" in
+      f.regs.(d) <- Value.Vint (Heap.array_len m.heap a);
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Inew (d, cls) -> (
+    match Code.find_cls cu cls with
+    | None -> fun m th f -> exec_instr m th f (* crashes identically *)
+    | Some cc ->
+      let field_tys = cc.Code.cc_fields in
+      let inits = List.rev (fieldinit_chain_of cu cls) in
+      fun m th f ->
+        let addr = Heap.alloc_object m.heap ~cls ~field_tys in
+        let rv = Value.Vref addr in
+        f.regs.(d) <- rv;
+        bump m 1;
+        f.pc <- next;
+        List.iter
+          (fun cm ->
+            fast_push m th ~cm ~recv:(Some rv) ~caller:f ~argr:[||] ~ret_dst:None)
+          inits;
+        true)
+  | Code.Inewarr (d, elt, nr) ->
+    fun m _ f ->
+      let n = int_of_exn f.regs.(nr) ~what:"array size" in
+      f.regs.(d) <- Value.Vref (Heap.alloc_array m.heap ~elt ~len:n);
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Icall (dst, o, mname, argl) ->
+    let argr = Array.of_list argl in
+    let what = "call to " ^ mname in
+    let cache : (string * Code.meth) option ref = ref None in
+    fun m th f ->
+      let recv = f.regs.(o) in
+      let cm = resolve_virtual_cached cache m recv ~mname ~what in
+      f.pc <- next;
+      fast_push m th ~cm ~recv:(Some recv) ~caller:f ~argr ~ret_dst:dst;
+      true
+  | Code.Ictor (o, cls, argl) -> (
+    let argr = Array.of_list argl in
+    let arity = List.length argl in
+    match Code.find_ctor cu cls ~arity with
+    | None -> fun _ _ _ -> crash "no constructor %s/%d" cls arity
+    | Some cm ->
+      fun m th f ->
+        let recv = f.regs.(o) in
+        f.pc <- next;
+        fast_push m th ~cm ~recv:(Some recv) ~caller:f ~argr ~ret_dst:None;
+        true)
+  | Code.Icallstatic (dst, cls, mname, argl) -> (
+    let argr = Array.of_list argl in
+    match Code.find_static cu cls mname with
+    | None -> fun _ _ _ -> crash "no static method %s.%s" cls mname
+    | Some cm ->
+      fun m th f ->
+        f.pc <- next;
+        fast_push m th ~cm ~recv:None ~caller:f ~argr ~ret_dst:dst;
+        true)
+  | Code.Iintrinsic (dst, intr, argl) ->
+    compile_intrinsic ~next dst intr (Array.of_list argl)
+  | Code.Ibinop (d, op, l, r) ->
+    fun m _ f ->
+      f.regs.(d) <- eval_binop op f.regs.(l) f.regs.(r);
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Iunop (d, Ast.Not, s) ->
+    fun m _ f ->
+      f.regs.(d) <- Value.Vbool (not (bool_of_exn f.regs.(s) ~what:"!"));
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Iunop (d, Ast.Neg, s) ->
+    fun m _ f ->
+      f.regs.(d) <- Value.Vint (-int_of_exn f.regs.(s) ~what:"unary -");
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Ijmp l ->
+    fun _ _ f ->
+      f.pc <- l;
+      true
+  | Code.Ibr (c, l1, l2) ->
+    fun _ _ f ->
+      f.pc <- (if bool_of_exn f.regs.(c) ~what:"branch" then l1 else l2);
+      true
+  | Code.Iret None ->
+    fun m th f ->
+      fast_return m th f None;
+      true
+  | Code.Iret (Some r) ->
+    fun m th f ->
+      fast_return m th f (Some f.regs.(r));
+      true
+  | Code.Ienter r ->
+    fun m th f ->
+      let a = addr_of_exn f.regs.(r) ~what:"monitorenter" in
+      if Heap.try_enter m.heap a ~tid:th.tid then (
+        f.entered <- a :: f.entered;
+        bump m 1;
+        f.pc <- next;
+        th.status <- Runnable;
+        true)
+      else (
+        th.status <- Blocked_lock a;
+        false)
+  | Code.Iexit r ->
+    fun m th f ->
+      let a = addr_of_exn f.regs.(r) ~what:"monitorexit" in
+      Heap.exit m.heap a ~tid:th.tid;
+      f.entered <- remove_one_addr a f.entered;
+      bump m 1;
+      f.pc <- next;
+      true
+  | Code.Ispawn (d, o, mname, argl) ->
+    let argr = Array.of_list argl in
+    let what = "call to " ^ mname in
+    let cache : (string * Code.meth) option ref = ref None in
+    fun m _th f ->
+      let recv = f.regs.(o) in
+      let cm = resolve_virtual_cached cache m recv ~mname ~what in
+      let spawned_client = frame_is_client m f in
+      f.pc <- next;
+      let new_tid = fast_spawn m ~cm ~recv ~caller:f ~argr ~spawned_client in
+      f.regs.(d) <- Value.Vthread new_tid;
+      bump m 1;
+      true
+  | Code.Ijoin r -> (
+    fun m th f ->
+      match f.regs.(r) with
+      | Value.Vthread t' -> (
+        match status m t' with
+        | Finished _ | Crashed _ ->
+          bump m 1;
+          f.pc <- next;
+          th.status <- Runnable;
+          true
+        | Runnable | Blocked_lock _ | Blocked_join _ | Suspended ->
+          th.status <- Blocked_join t';
+          false)
+      | v -> crash "join on non-thread value %s" (Value.to_string v))
+  | Code.Iassert (r, msg) ->
+    fun _ _ f ->
+      if bool_of_exn f.regs.(r) ~what:"assert" then (
+        f.pc <- next;
+        true)
+      else crash "%s" msg
+  | Code.Ithrow msg -> fun _ _ _ -> crash "%s" msg
+
+let compile_meth (cu : Code.unit_) (cm : Code.meth) : exec array =
+  Array.mapi (fun pc instr -> compile_instr cu ~pc instr) cm.Code.cm_code
+
+module Compiled = struct
+  type code = engine
+
+  (* Canonical content digest of a unit: class names sorted, each with
+     its ancestor chain, fields, and methods printed through
+     [Code.pp_instr].  Deliberately not [Marshal] (hash tables have no
+     canonical layout). *)
+  let digest (cu : Code.unit_) =
+    let b = Buffer.create 4096 in
+    let add = Buffer.add_string b in
+    let meth (cm : Code.meth) =
+      add cm.Code.cm_qname;
+      add (if cm.Code.cm_static then "|s|" else "|v|");
+      add (string_of_int cm.Code.cm_nparams);
+      add "|";
+      add (string_of_int cm.Code.cm_nregs);
+      add (if cm.Code.cm_sync then "|y\n" else "|n\n");
+      Array.iter
+        (fun i ->
+          add (Format.asprintf "%a" Code.pp_instr i);
+          Buffer.add_char b '\n')
+        cm.Code.cm_code
+    in
+    let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+    let names =
+      List.sort String.compare
+        (Hashtbl.fold (fun name _ acc -> name :: acc) cu.Code.cu_classes [])
+    in
+    List.iter
+      (fun name ->
+        let cc = Hashtbl.find cu.Code.cu_classes name in
+        add "class ";
+        add name;
+        add " <: ";
+        List.iter
+          (fun (c : Ast.class_decl) ->
+            add c.Ast.c_name;
+            add ",")
+          (Program.ancestors cu.Code.cu_program name);
+        Buffer.add_char b '\n';
+        List.iter
+          (fun (fld, ty) ->
+            add fld;
+            add ":";
+            add (Ast.ty_to_string ty);
+            add ";")
+          cc.Code.cc_fields;
+        List.iter
+          (fun (fld, ty) ->
+            add "static ";
+            add fld;
+            add ":";
+            add (Ast.ty_to_string ty);
+            add ";")
+          cc.Code.cc_static_fields;
+        Buffer.add_char b '\n';
+        (match cc.Code.cc_fieldinit with Some cm -> meth cm | None -> ());
+        List.iter
+          (fun (_, cm) -> meth cm)
+          (List.sort (fun (a, _) (b, _) -> Int.compare a b) cc.Code.cc_ctors);
+        List.iter (fun (_, cm) -> meth cm) (by_name cc.Code.cc_methods);
+        List.iter (fun (_, cm) -> meth cm) (by_name cc.Code.cc_static_methods))
+      names;
+    Digest.to_hex (Digest.string (Buffer.contents b))
+
+  let compile (cu : Code.unit_) : code =
+    let tbl = Hashtbl.create 64 in
+    let units = ref 0 in
+    let instrs = ref 0 in
+    let add_meth (cm : Code.meth) =
+      let key = meth_key cm in
+      if not (Hashtbl.mem tbl key) then (
+        Hashtbl.replace tbl key (compile_meth cu cm);
+        incr units;
+        instrs := !instrs + Array.length cm.Code.cm_code)
+    in
+    Hashtbl.iter
+      (fun _ (cc : Code.cls) ->
+        (match cc.Code.cc_fieldinit with Some cm -> add_meth cm | None -> ());
+        List.iter (fun (_, cm) -> add_meth cm) cc.Code.cc_ctors;
+        List.iter (fun (_, cm) -> add_meth cm) cc.Code.cc_methods;
+        List.iter (fun (_, cm) -> add_meth cm) cc.Code.cc_static_methods)
+      cu.Code.cu_classes;
+    { en_tbl = tbl; en_units = !units; en_instrs = !instrs }
+
+  let units (c : code) = c.en_units
+  let instrs (c : code) = c.en_instrs
+
+  let install m (c : code) =
+    m.engine <- Some c;
+    (* Re-point the compiled bodies of frames that already exist (the
+       harness installs right after [create], but a mid-run install
+       must stay correct). *)
+    Hashtbl.iter
+      (fun _ th -> List.iter (fun f -> f.comp <- comp_for m f.meth) th.stack)
+      m.threads
+
+  let installed m = m.engine <> None
+end
+
 (* ---------------- public stepping API ---------------- *)
 
-let runnable m tid =
-  let th = thread m tid in
+let runnable_th m (th : thread) =
   match th.status with
   | Runnable -> true
-  | Blocked_lock a -> Heap.monitor_free_or_mine m.heap a ~tid
+  | Blocked_lock a -> Heap.monitor_free_or_mine m.heap a ~tid:th.tid
   | Blocked_join t' -> (
     match status m t' with
     | Finished _ | Crashed _ -> true
     | Runnable | Blocked_lock _ | Blocked_join _ | Suspended -> false)
   | Suspended | Finished _ | Crashed _ -> false
 
-let runnable_tids m = List.filter (runnable m) (threads m)
+let runnable m tid = runnable_th m (thread m tid)
+let runnable_threads m = List.filter (runnable_th m) m.thread_list
+let runnable_tids m = List.map thread_id (runnable_threads m)
 
 let live_tids m =
-  List.filter
-    (fun tid ->
-      match status m tid with
-      | Finished _ | Crashed _ | Suspended -> false
-      | Runnable | Blocked_lock _ | Blocked_join _ -> true)
-    (threads m)
+  List.filter_map
+    (fun th ->
+      match th.status with
+      | Finished _ | Crashed _ | Suspended -> None
+      | Runnable | Blocked_lock _ | Blocked_join _ -> Some th.tid)
+    m.thread_list
 
-let step m tid : step_result =
-  let th = thread m tid in
+let step_th m (th : thread) : step_result =
   match th.status with
   | Finished _ | Crashed _ | Suspended -> Not_runnable
   | Runnable | Blocked_lock _ | Blocked_join _ -> (
@@ -718,7 +1269,16 @@ let step m tid : step_result =
       th.status <- Finished None;
       Not_runnable
     | f :: _ -> (
-      try if exec_instr m th f then Stepped else Blocked with
+      try
+        (* Compiled fast path only when nothing is observing: the
+           closures skip event construction but keep [next_label] in
+           lockstep, so attaching an observer later stays sound. *)
+        let ok =
+          if f.comp == no_comp || m.observers <> [] then exec_instr m th f
+          else f.comp.(f.pc) m th f
+        in
+        if ok then Stepped else Blocked
+      with
       | Crash msg ->
         crash_thread m th
           (Printf.sprintf "%s (at %s:%d)" msg f.meth.Code.cm_qname f.pc);
@@ -728,10 +1288,11 @@ let step m tid : step_result =
           (Printf.sprintf "%s (at %s:%d)" msg f.meth.Code.cm_qname f.pc);
         Stepped))
 
+let step m tid : step_result = step_th m (thread m tid)
+
 (* What would [step] execute next?  Used by directed schedulers and by
    the test synthesizer's suspension mechanism. *)
-let peek m tid : (Code.meth * int * Code.instr) option =
-  let th = thread m tid in
+let peek_th (th : thread) : (Code.meth * int * Code.instr) option =
   match th.status with
   | Finished _ | Crashed _ | Suspended -> None
   | Runnable | Blocked_lock _ | Blocked_join _ -> (
@@ -742,13 +1303,15 @@ let peek m tid : (Code.meth * int * Code.instr) option =
         Some (f.meth, f.pc, f.meth.Code.cm_code.(f.pc))
       else None)
 
+let peek m tid = peek_th (thread m tid)
+
 (* If the next instruction is a call, resolve its target and argument
    values without executing it. *)
-let pending_call m tid : (Code.meth * Value.t option * Value.t list) option =
-  match peek m tid with
+let pending_call_th m (th : thread) :
+    (Code.meth * Value.t option * Value.t list) option =
+  match peek_th th with
   | None -> None
   | Some (_, _, instr) -> (
-    let th = thread m tid in
     let f = List.hd th.stack in
     let reg r = f.regs.(r) in
     try
@@ -774,21 +1337,24 @@ let pending_call m tid : (Code.meth * Value.t option * Value.t list) option =
         None
     with Crash _ | Heap.Fault _ -> None)
 
+let pending_call m tid = pending_call_th m (thread m tid)
+
 (* ---------------- construction and harness entry points ---------------- *)
 
 let run_thread_to_completion m tid ~fuel =
+  let th = thread m tid in
   let rec loop n =
     if n <= 0 then Error "fuel exhausted"
     else
-      match step m tid with
+      match step_th m th with
       | Stepped -> (
-        match status m tid with
+        match th.status with
         | Finished v -> Ok v
         | Crashed msg -> Error msg
         | Runnable | Blocked_lock _ | Blocked_join _ | Suspended -> loop (n - 1))
       | Blocked -> Error "single thread blocked (self-deadlock)"
       | Not_runnable -> (
-        match status m tid with
+        match th.status with
         | Finished v -> Ok v
         | Crashed msg -> Error msg
         | Runnable | Blocked_lock _ | Blocked_join _ | Suspended -> Error "stuck")
@@ -797,14 +1363,14 @@ let run_thread_to_completion m tid ~fuel =
 
 let default_fuel = 2_000_000
 
-let create ?(client_classes = []) ?(seed = 42L) (cu : Code.unit_) : t =
+let create ?(client_classes = []) ?(seed = default_seed) (cu : Code.unit_) : t =
   let m =
     {
       cu;
       heap = Heap.create ();
       class_objs = Hashtbl.create 17;
       threads = Hashtbl.create 17;
-      thread_order = [];
+      thread_list = [];
       next_tid = 0;
       next_fid = 0;
       next_label = 0;
@@ -812,6 +1378,7 @@ let create ?(client_classes = []) ?(seed = 42L) (cu : Code.unit_) : t =
       client_classes = Hashtbl.create 7;
       rng = seed;
       out = Buffer.create 256;
+      engine = None;
     }
   in
   List.iter (fun c -> Hashtbl.replace m.client_classes c ()) client_classes;
@@ -848,6 +1415,13 @@ let output m = Buffer.contents m.out
 let heap m = m.heap
 let unit_of m = m.cu
 let frames_of m tid = (thread m tid).stack
+
+let top_frame_th (th : thread) =
+  match th.stack with [] -> None | f :: _ -> Some f
+
+let top_frame m tid = top_frame_th (thread m tid)
+
+let labels_used m = m.next_label
 let crash_reason m tid =
   match status m tid with
   | Crashed msg -> Some msg
@@ -869,11 +1443,10 @@ type pending_access = {
   pa_kind : [ `Read | `Write ];
 }
 
-let pending_access m tid : pending_access option =
-  match peek m tid with
+let pending_access_th m (th : thread) : pending_access option =
+  match peek_th th with
   | None -> None
   | Some (meth, pc, instr) -> (
-    let th = thread m tid in
     let f = List.hd th.stack in
     let reg r = f.regs.(r) in
     let site = { Event.s_meth = meth.Code.cm_qname; s_pc = pc } in
@@ -909,6 +1482,8 @@ let pending_access m tid : pending_access option =
     | Code.Ienter _ | Code.Iexit _ | Code.Ispawn _ | Code.Ijoin _
     | Code.Iassert _ | Code.Ithrow _ ->
       None)
+
+let pending_access m tid = pending_access_th m (thread m tid)
 
 (* Monitors currently held by a thread (with reentrancy collapsed). *)
 let held_locks m tid =

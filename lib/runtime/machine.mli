@@ -10,6 +10,10 @@
     [Sys.randInt] draws from a seeded splitmix64 stream and there is no
     other hidden nondeterminism. *)
 
+type exec
+(** A compiled instruction: one closure per pc of a compiled method
+    body (see {!Compiled}). *)
+
 type frame = {
   fid : Event.frame_id;
   meth : Jir.Code.meth;
@@ -17,6 +21,8 @@ type frame = {
   mutable pc : int;
   mutable entered : Value.addr list;
   ret_dst : Jir.Code.reg option;
+  mutable comp : exec array;
+      (** Compiled body of [meth]; empty when interpreting. *)
 }
 
 type status =
@@ -29,11 +35,42 @@ type status =
 
 type t
 
+val default_seed : int64
+(** Seed used when [create] (and the harness entry points built on it)
+    is not given one explicitly. *)
+
 val create :
   ?client_classes:Jir.Ast.id list -> ?seed:int64 -> Jir.Code.unit_ -> t
 (** Create a machine: allocates class objects (static-field holders) and
     runs static initializers.  [client_classes] mark which classes count
     as "client" for the client/library boundary flags on events. *)
+
+(** The closure-compiling backend: translates every method body of a
+    unit into an array of closures once (constants materialized, branch
+    targets and static call targets pre-resolved, virtual calls behind
+    per-site inline caches).  Installed code is only used while the
+    machine has no observers; it advances the event-label counter in
+    exact lockstep with the interpreter, so observers may attach
+    mid-run and see exactly the labels the interpreter would have
+    produced.  A [code] value is immutable after compilation and may be
+    shared across machines and domains. *)
+module Compiled : sig
+  type code
+
+  val digest : Jir.Code.unit_ -> string
+  (** Canonical content digest of a unit (hex); the cache key for
+      compiled code. *)
+
+  val compile : Jir.Code.unit_ -> code
+  val units : code -> int
+  (** Number of method bodies compiled. *)
+
+  val instrs : code -> int
+  (** Total instructions compiled. *)
+
+  val install : t -> code -> unit
+  val installed : t -> bool
+end
 
 val add_observer : t -> (Event.t -> unit) -> unit
 
@@ -79,6 +116,39 @@ val live_tids : t -> Value.tid list
 val threads : t -> Value.tid list
 (** All threads ever created, in creation order. *)
 
+(** {2 Record-based stepping}
+
+    Hot driver loops (the executor, replay, directed fuzzing) run
+    millions of steps; these variants take the thread record directly so
+    a loop pays the tid -> record hash lookup once, not per step.  They
+    are observationally identical to the tid-based functions. *)
+
+type thread
+(** Runtime state of one thread; stays valid for the machine's
+    lifetime. *)
+
+val find_thread : t -> Value.tid -> thread
+(** Raises [Invalid_argument] for an unknown tid. *)
+
+val thread_id : thread -> Value.tid
+val status_th : thread -> status
+val step_th : t -> thread -> step_result
+val runnable_th : t -> thread -> bool
+
+val runnable_threads : t -> thread list
+(** Runnable threads in creation order; [runnable_tids] maps over it. *)
+
+val all_threads : t -> thread list
+(** Every thread ever created, in creation order — the machine's own
+    list, not a copy, so a per-step scan allocates nothing. *)
+
+val top_frame_th : thread -> frame option
+
+val pending_call_th :
+  t -> thread -> (Jir.Code.meth * Value.t option * Value.t list) option
+
+val peek_th : thread -> (Jir.Code.meth * int * Jir.Code.instr) option
+
 val peek : t -> Value.tid -> (Jir.Code.meth * int * Jir.Code.instr) option
 (** The instruction [step] would execute next. *)
 
@@ -98,6 +168,15 @@ val output : t -> string
 val heap : t -> Heap.t
 val unit_of : t -> Jir.Code.unit_
 val frames_of : t -> Value.tid -> frame list
+
+val top_frame : t -> Value.tid -> frame option
+(** The innermost frame of a thread, without rebuilding the frame
+    list. *)
+
+val labels_used : t -> int
+(** Number of event labels consumed so far.  Identical across backends
+    for the same (program, seed, schedule). *)
+
 val crash_reason : t -> Value.tid -> string option
 
 val is_client_frame : t -> frame -> bool
@@ -117,6 +196,7 @@ type pending_access = {
 }
 
 val pending_access : t -> Value.tid -> pending_access option
+val pending_access_th : t -> thread -> pending_access option
 
 val held_locks : t -> Value.tid -> Value.addr list
 (** Monitors currently held by a thread (reentrancy collapsed), sorted. *)

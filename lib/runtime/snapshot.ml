@@ -71,25 +71,26 @@ let canonical heap ~(roots : Value.t list) : t =
       Hashtbl.replace ids a id;
       let e =
         match (Heap.cell heap a).Heap.kind with
-        | Heap.Kobject { cls; fields } | Heap.Kclassobj { cls; fields } ->
+        | Heap.Kobject { cls; layout; fields }
+        | Heap.Kclassobj { cls; layout; fields } ->
           let names =
             List.sort String.compare
-              (Hashtbl.fold (fun k _ acc -> k :: acc) fields [])
+              (Array.to_list (Heap.layout_names layout))
           in
           Eobj
             ( cls,
               List.map
                 (fun f ->
-                  match Hashtbl.find_opt fields f with
-                  | Some v -> (f, visit v)
-                  | None ->
-                    (* [names] was read from this very table, so a miss
-                       means a concurrent mutation of the heap cell. *)
+                  match Heap.slot_of layout f with
+                  | -1 ->
+                    (* [names] was read from this very layout, so a miss
+                       means the cell's layout changed under us. *)
                     invalid_arg
                       (Printf.sprintf
                          "Snapshot.canonical: field %s.%s vanished during \
                           traversal"
-                         cls f))
+                         cls f)
+                  | s -> (f, visit fields.(s)))
                 names )
         | Heap.Karray { data; _ } ->
           Earr (Array.to_list (Array.map visit data))

@@ -24,11 +24,25 @@ let default_chunk_size = 4096
    re-allocating them cuts minor-GC pressure on worker domains.  The
    pool is domain-local state, so no lock is involved.  Pooled chunks
    keep their stale events alive until overwritten — bounded by
-   [max_pooled_chunks] chunks per domain. *)
+   [pool_cap] chunks per domain. *)
 let chunk_pool : Event.t array list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
-let max_pooled_chunks = 32
+let default_pool_cap = 32
+
+(* Effective cap, shared by every domain; set once at startup (from the
+   environment or [set_pool_cap]) before workers spin up. *)
+let pool_cap =
+  Atomic.make
+    (match Sys.getenv_opt "NARADA_TRACE_POOL_CAP" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> default_pool_cap)
+    | None -> default_pool_cap)
+
+let set_pool_cap n = Atomic.set pool_cap (max 0 n)
+let max_pooled_chunks () = Atomic.get pool_cap
 
 let recorder ?(chunk_size = default_chunk_size) () =
   {
@@ -67,17 +81,21 @@ let pool_size () = List.length !(Domain.DLS.get chunk_pool)
 let recycle r =
   if r.chunk = default_chunk_size then begin
     let pool = Domain.DLS.get chunk_pool in
+    let cap = Atomic.get pool_cap in
     let put c =
-      if List.length !pool < max_pooled_chunks && Array.length c = r.chunk then
+      if List.length !pool < cap && Array.length c = r.chunk then
         pool := c :: !pool
     in
     List.iter put r.filled;
     if Array.length r.cur > 0 then put r.cur;
     (* High-water mark of this domain's free list: a volatile gauge (the
        pool is scheduling-dependent), watched by the replay stress test
-       to prove the list stays bounded by [max_pooled_chunks]. *)
-    Obs.Metrics.gauge_max (Obs.Metrics.global ()) "trace/pool/chunks"
-      (float_of_int (List.length !pool))
+       to prove the list stays bounded by the cap, which is exported
+       alongside it. *)
+    let g = Obs.Metrics.global () in
+    Obs.Metrics.gauge_max g "trace/pool/chunks"
+      (float_of_int (List.length !pool));
+    Obs.Metrics.gauge_max g "trace/pool/cap" (float_of_int cap)
   end;
   r.filled <- [];
   r.cur <- [||];

@@ -33,11 +33,18 @@ val recycle : recorder -> unit
     chunks are not pooled. *)
 
 val pool_size : unit -> int
-(** Current length of this domain's chunk free list — bounded by an
-    internal cap; exposed for the replay-stress pool test. *)
+(** Current length of this domain's chunk free list — bounded by
+    {!max_pooled_chunks}; exposed for the replay-stress pool test. *)
 
-val max_pooled_chunks : int
-(** The cap on {!pool_size}. *)
+val max_pooled_chunks : unit -> int
+(** The effective cap on {!pool_size}.  Defaults to 32, overridable at
+    startup with the [NARADA_TRACE_POOL_CAP] environment variable or at
+    run time with {!set_pool_cap}.  Exported as the
+    ["trace/pool/cap"] gauge. *)
+
+val set_pool_cap : int -> unit
+(** Set the per-domain chunk free-list cap (clamped at 0).  Intended to
+    be called before worker domains start recycling recorders. *)
 
 val length : t -> int
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(* Perf diagnostic for the backend work (not part of the test suite,
+   no gate): raw observer-free stepping throughput per backend, plus
+   the instantiate / directed_run split of a confirm call.  The split
+   loop interleaves the two timers exactly like Racefuzzer.confirm
+   does — timing 300 instantiations first and 300 directed runs after
+   skews the second phase with the GC debt of the first. *)
+
+let stepping () =
+  let e = Option.get (Corpus.Registry.find "C6") in
+  let cu = Corpus.Registry.compiled_unit e in
+  let run ~compiled () =
+    let code = Backend.prepare (if compiled then Backend.Compiled else Backend.Interp) cu in
+    let t0 = Obs.Clock.ticks () in
+    let steps = ref 0 in
+    for i = 1 to 200 do
+      let r, _m =
+        Conc.Exec.run_program ~seed:42L cu
+          ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
+          ~cls:e.Corpus.Corpus_def.e_seed_cls
+          ~meth:e.Corpus.Corpus_def.e_seed_meth
+          ~on_machine:(Backend.on_machine code)
+          (Conc.Scheduler.random ~seed:(Int64.of_int i))
+      in
+      steps := !steps + r.Conc.Exec.steps
+    done;
+    let s = Obs.Clock.elapsed_s ~since:t0 in
+    (!steps, s)
+  in
+  let si, ti = run ~compiled:false () in
+  let sc, tc = run ~compiled:true () in
+  Printf.printf "interp:   %d steps in %.3fs (%.1f Msteps/s)\n" si ti (float_of_int si /. ti /. 1e6);
+  Printf.printf "compiled: %d steps in %.3fs (%.1f Msteps/s)  speedup %.2fx\n" sc tc
+    (float_of_int sc /. tc /. 1e6) (ti /. tc)
+
+let confirm_split () =
+  let e = Option.get (Corpus.Registry.find "C6") in
+  let cu = Corpus.Registry.compiled_unit e in
+  List.iter
+    (fun kind ->
+      let an =
+        match
+          Narada_core.Pipeline.analyze ~backend:kind cu
+            ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
+            ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
+            ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
+        with
+        | Ok an -> an
+        | Error m -> failwith m
+      in
+      let t = List.hd an.Narada_core.Pipeline.an_tests in
+      let instantiate = Narada_core.Pipeline.instantiator an t in
+      (* candidate from a lockset pass *)
+      let cand =
+        let inst = Result.get_ok (instantiate ()) in
+        let ls = Detect.Lockset.attach inst.Detect.Racefuzzer.ri_machine in
+        ignore
+          (Conc.Exec.run inst.Detect.Racefuzzer.ri_machine
+             (Conc.Scheduler.random ~seed:1L));
+        Detect.Racefuzzer.candidate_of_report
+          (List.hd (Detect.Lockset.candidates ls))
+      in
+      let n = 300 in
+      let inst_s = ref 0.0 and dr_s = ref 0.0 in
+      for i = 1 to n do
+        let t0 = Obs.Clock.ticks () in
+        let inst = Result.get_ok (instantiate ()) in
+        inst_s := !inst_s +. Obs.Clock.elapsed_s ~since:t0;
+        let t1 = Obs.Clock.ticks () in
+        ignore
+          (Detect.Racefuzzer.directed_run inst.Detect.Racefuzzer.ri_machine
+             ~cand
+             ~seed:(Int64.of_int (i * 7919))
+             ~fuel:200_000 ~on_confirm:`Report);
+        dr_s := !dr_s +. Obs.Clock.elapsed_s ~since:t1
+      done;
+      let inst_s = !inst_s and dr_s = !dr_s in
+      Printf.printf
+        "%s: instantiate %.1fus/call, directed_run %.1fus/call  (x%d)\n"
+        (match kind with Backend.Interp -> "interp  " | Backend.Compiled -> "compiled")
+        (inst_s /. float_of_int n *. 1e6)
+        (dr_s /. float_of_int n *. 1e6)
+        n)
+    [ Backend.Interp; Backend.Compiled ]
+
+let () =
+  stepping ();
+  confirm_split ()

@@ -34,6 +34,8 @@ counts and is also jobs-count independent.
   identical
 
   $ grep '"type": "counter"' s1
+  {"kind": "stable", "type": "counter", "name": "backend/compiled/instrs", "value": 171}
+  {"kind": "stable", "type": "counter", "name": "backend/compiled/units", "value": 10}
   {"kind": "stable", "type": "counter", "name": "cov/C9/hb_edge", "value": 2}
   {"kind": "stable", "type": "counter", "name": "cov/C9/lock_order", "value": 0}
   {"kind": "stable", "type": "counter", "name": "cov/C9/postponed", "value": 7}

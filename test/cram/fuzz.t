@@ -5,7 +5,7 @@ only on the seed, never on the job count or on wall-clock state.
   $ narada fuzz --smoke --seed 42 --jobs 4 > jobs4.out
   $ cmp jobs1.out jobs4.out
   $ cat jobs1.out
-  crucible: 30 programs, seed 42, 7 oracles
+  crucible: 30 programs, seed 42, 8 oracles
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
@@ -14,6 +14,7 @@ only on the seed, never on the job count or on wall-clock state.
     lockset-superset       30      0
     static-superset        30      0
     synthesis-replay       30      0
+    backend-diff           30      0
   no oracle violations
 
 Fault injection: hiding join edges from FastTrack's event feed makes it
@@ -24,7 +25,7 @@ campaign is deterministic too, and exits non-zero.
   $ narada fuzz --smoke --seed 42 --jobs 4 --mutate drop-join > mutated4.out
   [1]
   $ narada fuzz --smoke --seed 42 --jobs 1 --mutate drop-join
-  crucible: 30 programs, seed 42, 7 oracles [mutation: drop-join]
+  crucible: 30 programs, seed 42, 8 oracles [mutation: drop-join]
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
@@ -33,6 +34,7 @@ campaign is deterministic too, and exits non-zero.
     lockset-superset       30      0
     static-superset        30      0
     synthesis-replay       30      0
+    backend-diff           30      0
   VIOLATION at program #3 (oracle detectors-agree)
     fasttrack={@3.f1} naive-hb={}
     minimal counterexample (size 179 -> 31 in 21 shrink steps):
@@ -88,6 +90,7 @@ report and corpus snapshot are byte-identical across job counts.
     lockset-superset        8      0
     static-superset         8      0
     synthesis-replay        8      0
+    backend-diff            8      0
   no oracle violations
   corpus snapshot: c1.nar (digest f1c2224526d7ee0c)
   $ head -1 c1.nar
@@ -107,5 +110,6 @@ corpus (8 entries carried in, 3 added).
     lockset-superset        4      0
     static-superset         4      0
     synthesis-replay        4      0
+    backend-diff            4      0
   no oracle violations
   corpus snapshot: c2.nar (digest 747d072aa16252f1)

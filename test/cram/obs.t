@@ -15,6 +15,8 @@ The stable section carries the detection campaign's schedule-independent
 facts: counters, racefuzzer histograms, and span call counts.
 
   $ cat s1
+  {"kind": "stable", "type": "counter", "name": "backend/compiled/instrs", "value": 171}
+  {"kind": "stable", "type": "counter", "name": "backend/compiled/units", "value": 10}
   {"kind": "stable", "type": "counter", "name": "detect/candidates", "value": 10}
   {"kind": "stable", "type": "counter", "name": "detect/reproduced", "value": 8}
   {"kind": "stable", "type": "counter", "name": "detect/schedules", "value": 30}
@@ -27,6 +29,7 @@ facts: counters, racefuzzer histograms, and span call counts.
   {"kind": "stable", "type": "histogram", "name": "racefuzzer/postponed_max", "count": 20, "sum": 22, "min": 0, "max": 2}
   {"kind": "stable", "type": "histogram", "name": "racefuzzer/runs_to_confirm", "count": 8, "sum": 8, "min": 1, "max": 1}
   {"kind": "stable", "type": "histogram", "name": "racefuzzer/steps", "count": 20, "sum": 490, "min": 1, "max": 36}
+  {"kind": "stable", "type": "span", "path": "backend/compile", "calls": 1}
   {"kind": "stable", "type": "span", "path": "detect/test", "calls": 10}
   {"kind": "stable", "type": "span", "path": "pipeline", "calls": 1}
   {"kind": "stable", "type": "span", "path": "pipeline/analyze", "calls": 1}
@@ -41,7 +44,7 @@ section (stripped above) carries span durations:
   $ sed -E 's/"unix_ms": [0-9]+/"unix_ms": T/' m4.json | head -1
   {"kind": "meta", "schema": "narada.metrics/1", "unix_ms": T, "cmd": "detect", "corpus": "C9", "jobs": 4}
   $ grep -c '"type": "span_ns"' m4.json
-  7
+  8
 
 narada profile prints a per-stage breakdown for all nine classes; the
 count columns are deterministic, timings are masked:

@@ -160,17 +160,17 @@ let test_replay_stress_pools_chunks () =
         (Racefuzzer.directed_run_cov ri.Racefuzzer.ri_machine
            ~cand:(cand "count")
            ~seed:(Int64.of_int i) ~fuel:100_000 ());
-      if Runtime.Trace.pool_size () > Runtime.Trace.max_pooled_chunks then
+      if Runtime.Trace.pool_size () > Runtime.Trace.max_pooled_chunks () then
         Alcotest.failf "pool grew past cap at replay %d: %d" i
           (Runtime.Trace.pool_size ())
   done;
   Alcotest.(check bool) "pool bounded after 1k replays" true
-    (Runtime.Trace.pool_size () <= Runtime.Trace.max_pooled_chunks);
+    (Runtime.Trace.pool_size () <= Runtime.Trace.max_pooled_chunks ());
   let gauges = Obs.Metrics.gauges (Obs.Metrics.global ()) in
   match List.assoc_opt "trace/pool/chunks" gauges with
   | Some v ->
     Alcotest.(check bool) "gauge within cap" true
-      (v <= float_of_int Runtime.Trace.max_pooled_chunks)
+      (v <= float_of_int (Runtime.Trace.max_pooled_chunks ()))
   | None -> Alcotest.fail "trace/pool/chunks gauge not recorded"
 
 let test_triage_lost_update_harmful () =
