@@ -7,6 +7,8 @@
      dune exec bench/main.exe -- sweep             # jobs=1/2/4/8 scaling curve
      dune exec bench/main.exe -- par-smoke         # CI inversion guard
      dune exec bench/main.exe -- backend-bench     # interp vs compiled backend
+     dune exec bench/main.exe -- static-bench      # summary-cache cold/warm/edit
+     dune exec bench/main.exe -- static-bench --smoke   # CI-sized corpus
 
    The campaign fans out over a domain pool (--jobs, default
    Domain.recommended_domain_count); tables are bit-identical for every
@@ -174,14 +176,144 @@ let write_bench_parallel ~jobs ~wall_s =
   write_bench_parallel_configs [ (jobs, wall_s) ]
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_static.json: wall-clock of the open-world static race          *)
-(* analyzer (points-to + escape + access collection + pairing) over     *)
-(* the whole corpus, sequential vs fanned out over a domain pool.       *)
+(* BENCH_static.json: the static race analyzer's cost profile.  Two     *)
+(* sections: open-world whole-corpus analysis at jobs=1/2/4/8, and the  *)
+(* incremental summary-cache benchmark — a Crucible-generated corpus    *)
+(* of 1000+ classes (120+ with --smoke) linted cold (empty cache),      *)
+(* warm (nothing changed) and after a one-statement edit to a single    *)
+(* class.  Acceptance, checked here: warm is at least                   *)
+(* NARADA_STATIC_MIN_SPEEDUP x faster than cold (default 10, or 2 with  *)
+(* --smoke; set 0 to record without gating), the warm run summarizes    *)
+(* nothing, and the edit re-summarizes exactly one class.               *)
 (* ------------------------------------------------------------------ *)
 
 let bench_static_file = "BENCH_static.json"
 
-let static_bench () =
+(* Deterministic Crucible corpus: consecutive generator seeds until the
+   class count crosses the target.  Units are kept as ASTs so the edit
+   phase can drop a statement structurally and re-print. *)
+let static_units ~target_classes =
+  let rec go i acc classes =
+    if classes >= target_classes then (List.rev acc, classes)
+    else
+      let p = Fuzz.Gen.generate ~seed:(Int64.of_int (1000 + i)) in
+      go (i + 1)
+        ((Printf.sprintf "P%03d" i, p) :: acc)
+        (classes + List.length p)
+  in
+  go 0 [] 0
+
+(* Drop the last statement of the last non-empty method body of the
+   last class that has one.  Editing at the very end keeps the printed
+   source of every other class byte-identical (no line shifts), so
+   exactly one class digest changes. *)
+let drop_last_stmt (prog : Jir.Ast.program) : Jir.Ast.program =
+  let rec edit_meths = function
+    | [] -> None
+    | (m : Jir.Ast.method_decl) :: ms ->
+      if m.Jir.Ast.m_body = [] then
+        Option.map (fun ms' -> m :: ms') (edit_meths ms)
+      else
+        let n = List.length m.Jir.Ast.m_body in
+        Some
+          ({
+             m with
+             Jir.Ast.m_body =
+               List.filteri (fun i _ -> i < n - 1) m.Jir.Ast.m_body;
+           }
+          :: ms)
+  in
+  let rec edit_classes = function
+    | [] -> []
+    | (c : Jir.Ast.class_decl) :: rest -> (
+      match edit_meths (List.rev c.Jir.Ast.c_methods) with
+      | Some mrev -> { c with Jir.Ast.c_methods = List.rev mrev } :: rest
+      | None -> c :: edit_classes rest)
+  in
+  List.rev (edit_classes (List.rev prog))
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let counter name = Obs.Metrics.counter_value (Obs.Metrics.global ()) name
+
+let static_cache_bench ~smoke =
+  let target = if smoke then 120 else 1000 in
+  let units, classes = static_units ~target_classes:target in
+  let sources =
+    List.map (fun (l, p) -> (l, Fuzz.Gen.to_source p)) units
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "narada-static-bench-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  let cache = Static.Cache.open_dir dir in
+  let lint_all sources =
+    List.iter
+      (fun (label, source) ->
+        ignore
+          (Static.Lint.block ~cache ~label ~source
+             ~compile:(fun () -> Jir.Compile.compile_source source)
+             ()))
+      sources
+  in
+  let phase f =
+    let s0 = counter "static/summarized" in
+    let t0 = Obs.Clock.ticks () in
+    f ();
+    (Obs.Clock.elapsed_s ~since:t0, counter "static/summarized" - s0)
+  in
+  let cold_s, cold_sum = phase (fun () -> lint_all sources) in
+  let warm_s, warm_sum = phase (fun () -> lint_all sources) in
+  let edited_sources =
+    match units with
+    | (label, p) :: _ ->
+      let src = Fuzz.Gen.to_source (drop_last_stmt p) in
+      (label, src) :: List.tl sources
+    | [] -> sources
+  in
+  let edit_s, edit_sum = phase (fun () -> lint_all edited_sources) in
+  rm_rf dir;
+  let speedup w = if w > 0.0 then cold_s /. w else 1.0 in
+  Printf.printf
+    "static-bench: %d units, %d classes (%s)\n\
+    \  cold %.3fs (%d summarized), warm %.3fs (%d, %.1fx), one-class edit \
+     %.3fs (%d re-summarized)\n"
+    (List.length units) classes
+    (if smoke then "smoke" else "full")
+    cold_s cold_sum warm_s warm_sum (speedup warm_s) edit_s edit_sum;
+  let bar =
+    match
+      Option.bind
+        (Sys.getenv_opt "NARADA_STATIC_MIN_SPEEDUP")
+        float_of_string_opt
+    with
+    | Some b -> b
+    | None -> if smoke then 2.0 else 10.0
+  in
+  let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+  if warm_sum <> 0 then
+    fail "static-bench: FAIL -- warm run re-summarized %d classes (want 0)"
+      warm_sum;
+  if edit_sum <> 1 then
+    fail
+      "static-bench: FAIL -- one-class edit re-summarized %d classes (want 1)"
+      edit_sum;
+  if speedup warm_s < bar then
+    fail "static-bench: FAIL -- warm speedup %.1fx below the %.1fx bar"
+      (speedup warm_s) bar;
+  ( classes,
+    List.length units,
+    [ ("cold", cold_s, cold_sum); ("warm", warm_s, warm_sum);
+      ("edit", edit_s, edit_sum) ] )
+
+let static_bench ?(smoke = false) () =
   (* Warm the shared compilation cache so only the analyzer is timed. *)
   List.iter (fun e -> ignore (cu_of e)) Corpus.Registry.all;
   let analyze_all ~jobs =
@@ -205,6 +337,10 @@ let static_bench () =
   let counts = analyze_all ~jobs:1 in
   let walls = List.map (fun j -> (j, wall_at j)) [ 1; 2; 4; 8 ] in
   let w1 = List.assoc 1 walls in
+  let incr_classes, incr_units, incr_phases = static_cache_bench ~smoke in
+  let incr_cold =
+    match incr_phases with (_, w, _) :: _ -> w | [] -> 0.0
+  in
   let oc = open_out bench_static_file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -244,13 +380,37 @@ let static_bench () =
         (fun (j, w) ->
           config ~jobs:j ~w
             ~speedup:(if j <> 1 && w > 0.0 then w1 /. w else 1.0))
-        walls);
-  Printf.printf "wrote %s (static analyzer wall-clock: %s)\n\n"
+        walls;
+      (* incremental summary-cache section *)
+      line
+        (Obs.Export.counter_line ~name:"static/incr/classes"
+           ~value:incr_classes);
+      line
+        (Obs.Export.counter_line ~name:"static/incr/units" ~value:incr_units);
+      List.iter
+        (fun (name, w, summarized) ->
+          line
+            (Obs.Export.counter_line
+               ~name:(Printf.sprintf "static/incr/%s/summarized" name)
+               ~value:summarized);
+          line
+            (Obs.Export.gauge_line ~name:"static/incr/wall_s" ~value:w
+               ~fields:
+                 [
+                   ("phase", Obs.Export.json_str name);
+                   ( "speedup",
+                     Printf.sprintf "%.2f"
+                       (if w > 0.0 then incr_cold /. w else 1.0) );
+                 ]
+               ()))
+        incr_phases);
+  Printf.printf "wrote %s (static analyzer wall-clock: %s)\n"
     bench_static_file
     (String.concat ", "
        (List.map
           (fun (j, w) -> Printf.sprintf "%.1fms at jobs=%d" (1000.0 *. w) j)
-          walls))
+          walls));
+  print_endline "static-bench: OK\n"
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler shootout: how often does each scheduler expose the C1      *)
@@ -879,6 +1039,7 @@ let parse_jobs argv =
 let () =
   let has s = Array.exists (String.equal s) Sys.argv in
   if has "par-smoke" then par_smoke ()
+  else if has "static-bench" then static_bench ~smoke:(has "--smoke") ()
   else if has "backend-bench" then backend_bench ()
   else if has "fuzz-bench" then fuzz_bench ~jobs:(parse_jobs Sys.argv)
   else if has "sweep" then sweep ()

@@ -245,48 +245,31 @@ let analyze_cmd =
 (* ---- lint ---- *)
 
 let lint_cmd =
-  (* Lint one compiled unit; the whole block of text is assembled per
-     unit so the corpus fan-out merges deterministically. *)
-  let lint_unit ~label cu =
-    let an = Static.Analyze.run ~open_world:true cu.Jir.Code.cu_program in
-    let findings = Static.Lint.run ~file:label an cu in
-    let errors, warnings =
-      List.fold_left
-        (fun (e, w) (f : Static.Lint.finding) ->
-          match f.Static.Lint.f_sev with
-          | Jir.Diag.Sev_error -> (e + 1, w)
-          | Jir.Diag.Sev_warning -> (e, w + 1))
-        (0, 0) findings
-    in
-    let buf = Buffer.create 256 in
-    List.iter
-      (fun f ->
-        Buffer.add_string buf (Static.Lint.to_string f);
-        Buffer.add_char buf '\n')
-      findings;
-    Buffer.add_string buf
-      (Printf.sprintf "%s: %d finding%s (%d error%s, %d warning%s)\n" label
-         (errors + warnings)
-         (if errors + warnings = 1 then "" else "s")
-         errors
-         (if errors = 1 then "" else "s")
-         warnings
-         (if warnings = 1 then "" else "s"));
-    Buffer.contents buf
-  in
-  let run file corpus all jobs =
+  let run file corpus all jobs cache_dir strict metrics_out =
+    let cache = Option.map Static.Cache.open_dir cache_dir in
+    let errors = ref 0 in
     if all then begin
-      (* Compile sequentially up front: the fan-out below then reads the
-         registry's published snapshot without ever taking a lock. *)
-      Corpus.Registry.warm Corpus.Registry.all;
+      (* Without a cache, compile sequentially up front: the fan-out
+         below then reads the registry's published snapshot without
+         ever taking a lock.  With a cache, compile lazily — warm
+         units never need their compiled form at all. *)
+      if cache = None then Corpus.Registry.warm Corpus.Registry.all;
       let blocks =
         Par.map ~jobs:(max 1 jobs) Corpus.Registry.all (fun e ->
-            let cu = Corpus.Registry.compiled_unit e in
-            Printf.sprintf "== %s %s ==\n%s" e.Corpus.Corpus_def.e_id
-              e.Corpus.Corpus_def.e_name
-              (lint_unit ~label:e.Corpus.Corpus_def.e_id cu))
+            Static.Lint.block ?cache ~label:e.Corpus.Corpus_def.e_id
+              ~source:e.Corpus.Corpus_def.e_source
+              ~compile:(fun () -> Corpus.Registry.compiled_unit e)
+              ())
       in
-      print_string (String.concat "\n" blocks)
+      let texts =
+        List.map2
+          (fun (e : Corpus.Corpus_def.entry) (b : Static.Lint.block) ->
+            errors := !errors + b.Static.Lint.bl_errors;
+            Printf.sprintf "== %s %s ==\n%s" e.Corpus.Corpus_def.e_id
+              e.Corpus.Corpus_def.e_name b.Static.Lint.bl_text)
+          Corpus.Registry.all blocks
+      in
+      print_string (String.concat "\n" texts)
     end
     else begin
       let src, _, _, centry = or_die (load_source ~file ~corpus) in
@@ -296,14 +279,39 @@ let lint_cmd =
         | Some f, None -> f
         | None, None -> "<input>"
       in
-      let cu = compile_or_die ?entry:centry src in
-      print_string (lint_unit ~label cu)
-    end
+      let b =
+        Static.Lint.block ?cache ~label ~source:src
+          ~compile:(fun () -> compile_or_die ?entry:centry src)
+          ()
+      in
+      errors := b.Static.Lint.bl_errors;
+      print_string b.Static.Lint.bl_text
+    end;
+    write_metrics metrics_out ~meta:[ ("cmd", Obs.Export.json_str "lint") ];
+    if strict && !errors > 0 then exit 1
   in
   let all =
     Arg.(
       value & flag
       & info [ "all" ] ~doc:"Lint every corpus entry (fans out over --jobs).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Persistent static-analysis cache.  Rendered lint blocks are \
+             keyed by unit source bytes and per-class summaries by content \
+             digest, so a warm re-lint only re-links and an edited unit only \
+             re-summarizes its changed classes.  The directory is created on \
+             demand; stale or corrupt entries are evicted automatically.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit nonzero when any error-severity finding is reported.")
   in
   Cmd.v
     (Cmd.info "lint"
@@ -311,9 +319,13 @@ let lint_cmd =
          "Static race analysis and lock-discipline lint: points-to + lockset \
           race candidates, unguarded writes to fields guarded elsewhere, \
           dead sync regions, and bytecode monitor-balance checks, with \
-          source positions.  Exit status reflects analyzer crashes only, \
-          never findings; output is byte-identical for every --jobs.")
-    Term.(const run $ file_arg $ corpus_arg $ all $ jobs_arg)
+          source positions.  Exit status reflects analyzer crashes only — \
+          and, under $(b,--strict), error-severity findings; output is \
+          byte-identical for every --jobs and for cold vs. warm --cache \
+          runs.")
+    Term.(
+      const run $ file_arg $ corpus_arg $ all $ jobs_arg $ cache_dir $ strict
+      $ metrics_out_arg)
 
 (* ---- synthesize ---- *)
 
@@ -690,8 +702,10 @@ let fuzz_cmd =
           ~doc:
             "Self-test the harness: inject a fault (drop-join, drop-release \
              corrupt the event stream FastTrack observes; static-drop-sync \
-             plants an unsoundness in the static race analyzer) and check \
-             that the differential oracles catch it.")
+             plants an unsoundness in the static race analyzer; \
+             static-stale-cache keys its summary cache by class name instead \
+             of content digest) and check that the differential oracles \
+             catch it.")
   in
   let guided =
     Arg.(
@@ -732,7 +746,8 @@ let fuzz_cmd =
           the whole stack with differential oracles (pretty/parse \
           round-trip, VM determinism, FastTrack vs Djit+ vs a naive \
           happens-before oracle, lockset coverage, static race-analyzer \
-          soundness, synthesis replay, interpreter vs compiled backend).  \
+          soundness, synthesis replay, interpreter vs compiled backend, \
+          incremental vs from-scratch static analysis).  \
           Deterministic: the report is \
           byte-identical for every --jobs; with $(b,--guided) it is also \
           reproducible from (seed, corpus snapshot).")
@@ -794,6 +809,10 @@ let serve_cmd =
           Cov.Corpus.create ()
       else Cov.Corpus.create ()
     in
+    (* Static summaries persist next to the corpus checkpoint: warm
+       analyze requests — across batches and across daemon restarts —
+       pay only the static linking phase. *)
+    let static_cache = Static.Cache.open_dir (Filename.concat state "staticcache") in
     Printf.printf "ready state=%s entries=%d features=%d\n%!" state
       (Cov.Corpus.size corpus)
       (Cov.Set.total (Cov.Corpus.coverage corpus));
@@ -812,14 +831,16 @@ let serve_cmd =
           match
             Narada_core.Pipeline.analyze
               (Corpus.Registry.compiled_unit e)
+              ~static_filter:true ~static_cache
               ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
               ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
               ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
           with
           | Error msg -> fail "error analyze %s: %s" id msg
           | Ok an ->
-            Printf.sprintf "analyze %s ok pairs=%d tests=%d" id
+            Printf.sprintf "analyze %s ok pairs=%d pruned=%d tests=%d" id
               (List.length an.Narada_core.Pipeline.an_pairs)
+              an.Narada_core.Pipeline.an_pairs_pruned
               (List.length an.Narada_core.Pipeline.an_tests)))
       | [ "cov"; id ] -> (
         match Corpus.Registry.find id with
@@ -884,10 +905,17 @@ let serve_cmd =
             (List.length report.Fuzz.Crucible.gr_failures)
         | _ -> Printf.sprintf "error bad fuzz request %S" line)
       | [ "stats" ] ->
-        Printf.sprintf "stats entries=%d features=%d digest=%s"
+        let reg = Obs.Metrics.global () in
+        let c name = Obs.Metrics.counter_value reg name in
+        Printf.sprintf
+          "stats entries=%d features=%d digest=%s\n\
+           static/cache hits=%d misses=%d evictions=%d summarized=%d"
           (Cov.Corpus.size corpus)
           (Cov.Set.total (Cov.Corpus.coverage corpus))
           (Cov.Corpus.digest corpus)
+          (c "static/cache/hits") (c "static/cache/misses")
+          (c "static/cache/evictions")
+          (c "static/summarized")
       | [ "checkpoint" ] -> checkpoint ()
       | [ "quit" ] ->
         quit := true;

@@ -24,8 +24,8 @@ type analysis = {
    at the (field, unordered method pair) granularity.  The static set
    over-approximates dynamic races (Crucible machine-checks this), so
    pruned pairs cannot be confirmable races. *)
-let static_prune (cu : Jir.Code.unit_) (pairs : Pairs.pair list) =
-  let an = Static.Analyze.run ~open_world:true cu.Jir.Code.cu_program in
+let static_prune ?cache (cu : Jir.Code.unit_) (pairs : Pairs.pair list) =
+  let an = Static.Analyze.run ~open_world:true ?cache cu.Jir.Code.cu_program in
   List.partition
     (fun (p : Pairs.pair) ->
       Static.Analyze.covers an ~field:p.Pairs.p_field
@@ -34,8 +34,8 @@ let static_prune (cu : Jir.Code.unit_) (pairs : Pairs.pair list) =
     pairs
 
 let analyze ?(seed = Runtime.Machine.default_seed) ?(static_filter = false)
-    ?backend (cu : Jir.Code.unit_) ~client_classes ~seed_cls ~seed_meth :
-    (analysis, string) result =
+    ?static_cache ?backend (cu : Jir.Code.unit_) ~client_classes ~seed_cls
+    ~seed_meth : (analysis, string) result =
   let backend =
     match backend with
     | Some k -> Backend.prepare k cu
@@ -62,7 +62,8 @@ let analyze ?(seed = Runtime.Machine.default_seed) ?(static_filter = false)
     let all_pairs = Obs.Span.with_ "pairs" (fun () -> Pairs.generate access) in
     let pairs, pruned =
       if static_filter then
-        Obs.Span.with_ "static-filter" (fun () -> static_prune cu all_pairs)
+        Obs.Span.with_ "static-filter" (fun () ->
+            static_prune ?cache:static_cache cu all_pairs)
       else (all_pairs, [])
     in
     let tests =
@@ -90,11 +91,12 @@ let analyze ?(seed = Runtime.Machine.default_seed) ?(static_filter = false)
         an_backend = backend;
       }
 
-let analyze_source ?seed ?static_filter ?backend src ~client_classes ~seed_cls
-    ~seed_meth : (analysis, string) result =
+let analyze_source ?seed ?static_filter ?static_cache ?backend src
+    ~client_classes ~seed_cls ~seed_meth : (analysis, string) result =
   match Jir.Compile.compile_source src with
   | cu ->
-    analyze ?seed ?static_filter ?backend cu ~client_classes ~seed_cls ~seed_meth
+    analyze ?seed ?static_filter ?static_cache ?backend cu ~client_classes
+      ~seed_cls ~seed_meth
   | exception Jir.Diag.Error e -> Error (Jir.Diag.to_string e)
 
 let instantiator (an : analysis) (t : Synth.test) : Detect.Racefuzzer.instantiator =

@@ -23,6 +23,7 @@ type analysis = {
 val analyze :
   ?seed:int64 ->
   ?static_filter:bool ->
+  ?static_cache:Static.Cache.t ->
   ?backend:Backend.kind ->
   Jir.Code.unit_ ->
   client_classes:Jir.Ast.id list ->
@@ -32,13 +33,16 @@ val analyze :
 (** [~static_filter:true] intersects the generated pairs with the
     static race analyzer's candidate set before synthesis; kept and
     pruned counts are reported separately so unfiltered totals stay
-    reconstructible.  [backend] (default {!Backend.default_kind})
+    reconstructible.  [~static_cache] backs the filter's per-class
+    summaries, so repeated analyses (the serve daemon) pay only the
+    static linking phase.  [backend] (default {!Backend.default_kind})
     selects the execution backend; preparing it (digest lookup plus at
     most one compilation) happens here, once per analysis. *)
 
 val analyze_source :
   ?seed:int64 ->
   ?static_filter:bool ->
+  ?static_cache:Static.Cache.t ->
   ?backend:Backend.kind ->
   string ->
   client_classes:Jir.Ast.id list ->

@@ -50,6 +50,7 @@ type options = {
   opt_seed : int64;
   opt_jobs : int; (* fan-out width inside one test's detection *)
   opt_static_filter : bool; (* prune pairs through the static analyzer *)
+  opt_static_cache : Static.Cache.t option; (* summary cache for the filter *)
   opt_backend : Backend.kind; (* execution backend for every VM run *)
 }
 
@@ -60,6 +61,7 @@ let default_options =
     opt_seed = 7L;
     opt_jobs = 1;
     opt_static_filter = false;
+    opt_static_cache = None;
     opt_backend = Backend.default_kind ();
   }
 
@@ -151,14 +153,14 @@ and evaluate_test_body (opts : options) (an : Narada_core.Pipeline.analysis)
     }
 
 (* Compile (through the shared registry cache) and analyze one entry. *)
-let analyze_entry ?(static_filter = false) ?backend
+let analyze_entry ?(static_filter = false) ?static_cache ?backend
     (e : Corpus.Corpus_def.entry) :
     (Jir.Code.unit_ * Narada_core.Pipeline.analysis, string) result =
   match Corpus.Registry.compiled_unit e with
   | exception Jir.Diag.Error d -> Error (Jir.Diag.to_string d)
   | cu -> (
     match
-      Narada_core.Pipeline.analyze cu ~static_filter ?backend
+      Narada_core.Pipeline.analyze cu ~static_filter ?static_cache ?backend
         ~client_classes:[ e.Corpus.Corpus_def.e_seed_cls ]
         ~seed_cls:e.Corpus.Corpus_def.e_seed_cls
         ~seed_meth:e.Corpus.Corpus_def.e_seed_meth
@@ -212,7 +214,7 @@ let evaluate_class ?(opts = default_options) (e : Corpus.Corpus_def.entry) :
     (class_eval, string) result =
   match
     analyze_entry ~static_filter:opts.opt_static_filter
-      ~backend:opts.opt_backend e
+      ?static_cache:opts.opt_static_cache ~backend:opts.opt_backend e
   with
   | Error err -> Error err
   | Ok (cu, an) ->
@@ -246,7 +248,7 @@ let evaluate_corpus ?(opts = default_options) ?(jobs = 1)
       (fun e ->
         ( e,
           analyze_entry ~static_filter:opts.opt_static_filter
-            ~backend:opts.opt_backend e ))
+            ?static_cache:opts.opt_static_cache ~backend:opts.opt_backend e ))
       entries
   in
   let items =

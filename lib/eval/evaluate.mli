@@ -45,6 +45,10 @@ type options = {
       (** intersect generated pairs with the static analyzer's
           candidate set before synthesis; [cl_pairs_pruned] reports
           how many were dropped *)
+  opt_static_cache : Static.Cache.t option;
+      (** per-class summary cache backing the filter's analyses
+          (analyses run sequentially in [evaluate_corpus], so the
+          cache counters stay deterministic) *)
   opt_backend : Backend.kind;
       (** execution backend for every VM run of the campaign; prepared
           once per analyzed class *)
@@ -52,7 +56,7 @@ type options = {
 
 val default_options : options
 (** 3 schedules, 6 confirmation runs, seed 7, jobs 1, no static filter,
-    {!Backend.default_kind} backend. *)
+    no static cache, {!Backend.default_kind} backend. *)
 
 val evaluate_test :
   options -> Narada_core.Pipeline.analysis -> Narada_core.Synth.test -> test_eval

@@ -11,22 +11,25 @@ open Detect
 
 type verdict = Pass | Fail of string
 
-type mutation = Drop_join | Drop_release | Static_drop_sync
+type mutation = Drop_join | Drop_release | Static_drop_sync | Static_stale_cache
 
 let mutation_of_string = function
   | "drop-join" -> Ok Drop_join
   | "drop-release" -> Ok Drop_release
   | "static-drop-sync" -> Ok Static_drop_sync
+  | "static-stale-cache" -> Ok Static_stale_cache
   | s ->
     Error
       (Printf.sprintf
-         "unknown mutation %S (have: drop-join, drop-release, static-drop-sync)"
+         "unknown mutation %S (have: drop-join, drop-release, \
+          static-drop-sync, static-stale-cache)"
          s)
 
 let mutation_to_string = function
   | Drop_join -> "drop-join"
   | Drop_release -> "drop-release"
   | Static_drop_sync -> "static-drop-sync"
+  | Static_stale_cache -> "static-stale-cache"
 
 (* Seed roles, derived from the per-program base seed so every oracle is
    a pure function of (program, seed). *)
@@ -273,7 +276,7 @@ let static_superset ?mutate ~seed cu =
   let static_mutate =
     match mutate with
     | Some Static_drop_sync -> Some Static.Analyze.Drop_sync
-    | Some (Drop_join | Drop_release) | None -> None
+    | Some (Drop_join | Drop_release | Static_stale_cache) | None -> None
   in
   let an = Static.Analyze.run ?mutate:static_mutate cu.Jir.Code.cu_program in
   let r = run_multithreaded ~seed cu in
@@ -292,6 +295,74 @@ let static_superset ?mutate ~seed cu =
          "dynamic races not covered by the %d static candidates: %s"
          (List.length (Static.Analyze.candidates an))
          (String.concat "; " missing))
+
+(* ---- incremental static analysis vs. from-scratch ---- *)
+
+(* Deterministic one-statement edit: drop the last statement of the
+   first non-empty method body, in declaration order.  Structure-only —
+   the edited program still passes class-table validation. *)
+let drop_one_stmt (prog : Jir.Ast.program) : Jir.Ast.program =
+  let hit = ref false in
+  let edit_meth (m : Jir.Ast.method_decl) =
+    if !hit || m.Jir.Ast.m_body = [] then m
+    else begin
+      hit := true;
+      let n = List.length m.Jir.Ast.m_body in
+      {
+        m with
+        Jir.Ast.m_body = List.filteri (fun i _ -> i < n - 1) m.Jir.Ast.m_body;
+      }
+    end
+  in
+  List.map
+    (fun (c : Jir.Ast.class_decl) ->
+      { c with Jir.Ast.c_methods = List.map edit_meth c.Jir.Ast.c_methods })
+    prog
+
+(* Incremental reanalysis through the digest-keyed summary cache must be
+   indistinguishable from a from-scratch run.  The cache is warmed on a
+   deterministically edited variant of the program (one statement
+   dropped), then the original is analyzed against the warm cache —
+   unchanged classes hit, the edited class re-summarizes — and the
+   rendered candidate list must be byte-identical to an uncached run,
+   in both the closed and the open world.  The [static-stale-cache]
+   mutation keys summaries by class name instead of content digest, so
+   the warm run reuses the stale summary of the edited class — exactly
+   the invalidation bug this oracle exists to catch. *)
+let static_incremental ?mutate (cu : Jir.Code.unit_) =
+  let static_mutate =
+    match mutate with
+    | Some Static_stale_cache -> Some Static.Analyze.Stale_cache
+    | Some (Drop_join | Drop_release | Static_drop_sync) | None -> None
+  in
+  let prog = cu.Jir.Code.cu_program in
+  let edited =
+    Jir.Program.of_ast (drop_one_stmt (Jir.Program.classes prog))
+  in
+  let render an =
+    List.map Static.Dom.cand_to_string (Static.Analyze.candidates an)
+  in
+  let diverged =
+    List.filter_map
+      (fun open_world ->
+        let cache = Static.Cache.in_memory () in
+        ignore
+          (Static.Analyze.run ?mutate:static_mutate ~open_world ~cache edited);
+        let warm =
+          render (Static.Analyze.run ?mutate:static_mutate ~open_world ~cache prog)
+        in
+        let cold = render (Static.Analyze.run ~open_world prog) in
+        if warm = cold then None
+        else
+          Some
+            (Printf.sprintf "%s world: %d warm vs %d cold candidates"
+               (if open_world then "open" else "closed")
+               (List.length warm) (List.length cold)))
+      [ false; true ]
+  in
+  match diverged with
+  | [] -> Pass
+  | ds -> Fail ("incremental /= from-scratch: " ^ String.concat "; " ds)
 
 let max_replayed_tests = 3
 
@@ -426,6 +497,7 @@ let names =
     "static-superset";
     "synthesis-replay";
     "backend-diff";
+    "static-incremental";
   ]
 
 (* Oracles past the front-end need a compiled unit; if compilation
@@ -463,6 +535,7 @@ let check ?mutate ~seed program =
           "static-superset";
           "synthesis-replay";
           "backend-diff";
+          "static-incremental";
         ]
   | cu ->
     front
@@ -478,6 +551,8 @@ let check ?mutate ~seed program =
             guarded (fun () -> synthesis_replay ~seed cu));
         timed "backend-diff" (fun () ->
             guarded (fun () -> backend_diff ~seed cu));
+        timed "static-incremental" (fun () ->
+            guarded (fun () -> static_incremental ?mutate cu));
       ]
 
 let first_failure ?mutate ~seed program =
@@ -504,6 +579,7 @@ let fails_oracle ?mutate ~seed ~oracle program =
         | "static-superset" -> static_superset ?mutate ~seed cu
         | "synthesis-replay" -> synthesis_replay ~strict:false ~seed cu
         | "backend-diff" -> backend_diff ~seed cu
+        | "static-incremental" -> static_incremental ?mutate cu
         | _ -> Pass))
   in
   match (try run_one () with _ -> Pass) with Pass -> false | Fail _ -> true

@@ -12,15 +12,18 @@ type verdict = Pass | Fail of string
 (** A fault injection for self-testing the harness.  [Drop_join] and
     [Drop_release] corrupt the event stream FastTrack observes (the
     other detectors and the naive oracle see the pristine trace);
-    [Static_drop_sync] plants an unsoundness inside the static race
-    analyzer instead.  A campaign run with a mutation must report
-    disagreement — proving the differential oracle would catch a real
-    bug of that class. *)
+    [Static_drop_sync] and [Static_stale_cache] plant an unsoundness
+    inside the static race analyzer itself.  A campaign run with a
+    mutation must report disagreement — proving the differential oracle
+    would catch a real bug of that class. *)
 type mutation =
   | Drop_join  (** hide [Joined] events: lost join happens-before edges *)
   | Drop_release  (** hide [Unlock] events: lost release→acquire edges *)
   | Static_drop_sync
       (** drop sync-region accesses from static candidate generation *)
+  | Static_stale_cache
+      (** key summary-cache entries by class name instead of content
+          digest, so edited classes reuse stale summaries *)
 
 val mutation_of_string : string -> (mutation, string) result
 val mutation_to_string : mutation -> string
@@ -57,7 +60,12 @@ val check :
       output and final event-label count on an observer-free run, and
       an observer (trace recorder + FastTrack) attached halfway through
       sees a byte-identical event suffix and the same race keys under
-      both backends. *)
+      both backends;
+    - ["static-incremental"]: re-analyzing the program through a
+      summary cache warmed on a one-statement-edited variant yields a
+      candidate list byte-identical to a from-scratch run, in both the
+      closed and the open world — the invalidation soundness bound for
+      the digest-keyed cache. *)
 
 val first_failure :
   ?mutate:mutation -> seed:int64 -> Jir.Ast.program -> (string * string) option

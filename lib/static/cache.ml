@@ -1,0 +1,146 @@
+(* Versioned store for static-tier artifacts (class summaries and
+   whole-unit lint blocks), on disk or in memory.
+
+   Disk layout: a directory holding a [version] file with the schema
+   line plus one [<kind>-<md5(key)>.entry] file per entry.  Entries
+   start with a header line [narada.staticcache/1 <kind> <key>]; the
+   payload is the remaining bytes verbatim.  Writes go through a
+   temporary file and [rename], so a crashed writer leaves either the
+   old entry or none.  Reads re-verify the header: a truncated,
+   mangled or colliding entry is deleted (counted as an eviction) and
+   reported as a miss — the caller recomputes and overwrites.  A
+   version file from another schema wipes the store.
+
+   Hits/misses/evictions are recorded as [static/cache/*] counters in
+   the global registry; they are deterministic for sequential runs
+   (parallel units may interleave miss/store on a shared entry). *)
+
+let schema = "narada.staticcache/1"
+
+type backend =
+  | Disk of string
+  | Mem of (string * string, string) Hashtbl.t * Mutex.t
+
+type t = { be : backend }
+
+let metrics = Obs.Metrics.global
+
+let hit () = Obs.Metrics.incr (metrics ()) "static/cache/hits"
+let miss () = Obs.Metrics.incr (metrics ()) "static/cache/misses"
+let evicted () = Obs.Metrics.incr (metrics ()) "static/cache/evictions"
+
+let in_memory () = { be = Mem (Hashtbl.create 64, Mutex.create ()) }
+
+let is_entry name = Filename.check_suffix name ".entry"
+
+let wipe_entries dir ~count =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        if is_entry name then begin
+          (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ());
+          if count then evicted ()
+        end)
+      names
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ | End_of_file -> None
+
+let write_atomic path data =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data);
+  Sys.rename tmp path
+
+let open_dir dir =
+  mkdir_p dir;
+  let vfile = Filename.concat dir "version" in
+  (match read_file vfile with
+  | Some v when String.equal (String.trim v) schema -> ()
+  | Some _ ->
+    (* another schema generation: every entry is stale *)
+    wipe_entries dir ~count:true;
+    write_atomic vfile (schema ^ "\n")
+  | None ->
+    (* fresh dir — or one missing its version marker, whose entries we
+       cannot trust *)
+    wipe_entries dir ~count:false;
+    write_atomic vfile (schema ^ "\n"));
+  { be = Disk dir }
+
+let entry_path dir ~kind ~key =
+  Filename.concat dir
+    (Printf.sprintf "%s-%s.entry" kind (Digest.to_hex (Digest.string key)))
+
+let header ~kind ~key = Printf.sprintf "%s %s %s" schema kind key
+
+let find t ~kind ~key =
+  match t.be with
+  | Mem (tbl, mu) ->
+    Mutex.lock mu;
+    let r = Hashtbl.find_opt tbl (kind, key) in
+    Mutex.unlock mu;
+    (match r with Some _ -> hit () | None -> miss ());
+    r
+  | Disk dir -> (
+    let path = entry_path dir ~kind ~key in
+    match read_file path with
+    | None ->
+      miss ();
+      None
+    | Some data -> (
+      let h = header ~kind ~key in
+      let hl = String.length h in
+      if
+        String.length data > hl
+        && String.equal (String.sub data 0 hl) h
+        && data.[hl] = '\n'
+      then begin
+        hit ();
+        Some (String.sub data (hl + 1) (String.length data - hl - 1))
+      end
+      else begin
+        (* truncated/corrupt/foreign entry: drop it and recompute *)
+        (try Sys.remove path with Sys_error _ -> ());
+        evicted ();
+        miss ();
+        None
+      end))
+
+let store t ~kind ~key payload =
+  match t.be with
+  | Mem (tbl, mu) ->
+    Mutex.lock mu;
+    Hashtbl.replace tbl (kind, key) payload;
+    Mutex.unlock mu
+  | Disk dir ->
+    let path = entry_path dir ~kind ~key in
+    (try write_atomic path (header ~kind ~key ^ "\n" ^ payload)
+     with Sys_error _ -> ())
+
+let evict t ~kind ~key =
+  (match t.be with
+  | Mem (tbl, mu) ->
+    Mutex.lock mu;
+    Hashtbl.remove tbl (kind, key);
+    Mutex.unlock mu
+  | Disk dir -> (
+    try Sys.remove (entry_path dir ~kind ~key) with Sys_error _ -> ()));
+  evicted ()

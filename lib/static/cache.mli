@@ -1,0 +1,35 @@
+(** Versioned store for static-tier artifacts (class summaries, lint
+    blocks), on disk ([narada.staticcache/1] directory layout with
+    atomic writes and corrupt-entry recovery) or in memory.
+
+    Lookups and stores are keyed by an entry [kind] (e.g. ["sum"],
+    ["lint"]) and an opaque [key] (normally a content digest).  A
+    corrupt, truncated or schema-stale entry is deleted and reported
+    as a miss; callers recompute and overwrite.  Hits, misses and
+    evictions are recorded as [static/cache/{hits,misses,evictions}]
+    counters in the global registry. *)
+
+type t
+
+val schema : string
+(** ["narada.staticcache/1"] — version-file contents and entry-header
+    prefix. *)
+
+val open_dir : string -> t
+(** Open (creating if needed) an on-disk store.  A directory carrying
+    a different schema version is wiped; entries without a version
+    marker are discarded. *)
+
+val in_memory : unit -> t
+(** A process-local store with the same semantics (used by the serve
+    daemon tests and the Crucible incremental oracle). *)
+
+val find : t -> kind:string -> key:string -> string option
+(** Payload bytes, or [None] on miss (including corrupt entries, which
+    are evicted on the way). *)
+
+val store : t -> kind:string -> key:string -> string -> unit
+(** Atomically (re)write an entry. *)
+
+val evict : t -> kind:string -> key:string -> unit
+(** Drop an entry the caller found to be undecodable. *)

@@ -88,6 +88,17 @@ let acc_to_string (a : acc) =
 let is_init_qname qn =
   Filename.check_suffix qn ".<init>" || Filename.check_suffix qn ".<fieldinit>"
 
+(* Escape / thread-sharedness facts consumed by the racy-pair
+   generator: spawn-reachable method qnames (or "everything runs in
+   parallel" in open-world mode) and the thread-shared site set. *)
+type esc = {
+  esc_parallel : bool;  (** open world: every method may run concurrently *)
+  esc_reachable : (string, unit) Hashtbl.t;  (** spawn-reachable qnames *)
+  esc_shared : Sites.t;
+}
+
+let esc_reaches e qn = e.esc_parallel || Hashtbl.mem e.esc_reachable qn
+
 type cand = { cd_field : string; cd_a : acc; cd_b : acc }
 
 (* The static identity of a candidate: the field plus the unordered

@@ -71,6 +71,17 @@ val acc_to_string : acc -> string
 val is_init_qname : string -> bool
 (** Does the qname denote a constructor or field initializer? *)
 
+(** Escape / thread-sharedness facts consumed by the racy-pair
+    generator. *)
+type esc = {
+  esc_parallel : bool;  (** open world: every method may run concurrently *)
+  esc_reachable : (string, unit) Hashtbl.t;  (** spawn-reachable qnames *)
+  esc_shared : Sites.t;
+}
+
+val esc_reaches : esc -> string -> bool
+(** May the method qname execute on a non-main thread? *)
+
 (** A static racy-pair candidate ([cd_a == cd_b] for a self-race). *)
 type cand = { cd_field : string; cd_a : acc; cd_b : acc }
 

@@ -1,0 +1,21 @@
+(** Global linking phase of the incremental static tier: compose
+    per-class {!Summary} values into whole-program points-to, access,
+    region and escape facts — the same facts the old monolithic solver
+    computed, so {!Racepairs.generate} yields identical candidates.
+
+    Always recomputed; every whole-program fact (dispatch, subtyping,
+    write-once statics, escape closure) lives here, which is what
+    keeps cached summaries valid across edits to other classes. *)
+
+type t
+
+val solve : ?open_world:bool -> Jir.Program.t -> Summary.cls list -> t
+(** [solve prog sums] links one summary per class, in program class
+    order.  Deterministic; no shared state. *)
+
+val accs : t -> Dom.acc list
+val regions : t -> Dom.region list
+val esc : t -> Dom.esc
+val shared : t -> Dom.Sites.t
+val prog : t -> Jir.Program.t
+val site_info : t -> Dom.site -> Dom.site_info

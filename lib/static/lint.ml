@@ -115,13 +115,13 @@ let monitor_findings ?file prog (cu : Code.unit_) : finding list =
 (* Identity of the stored field an access touches: the syntactic class
    for statics, the declaring class for instance fields, the array
    type for elements. *)
-let field_keys prog (a : D.acc) (pt : Pointsto.t) : (string * string) list =
+let field_keys prog (a : D.acc) (an : Analyze.t) : (string * string) list =
   match a.D.sa_base with
   | D.Bstatic c -> [ (c, a.D.sa_field) ]
   | D.Binst sites ->
     D.Sites.fold
       (fun s acc ->
-        let info = Pointsto.site_info pt s in
+        let info = Analyze.site_info an s in
         let cls =
           if info.D.si_array then info.D.si_cls
           else
@@ -142,8 +142,7 @@ let field_keys prog (a : D.acc) (pt : Pointsto.t) : (string * string) list =
       sites []
 
 let discipline_findings ?file (an : Analyze.t) : finding list =
-  let prog = Pointsto.prog (Analyze.pointsto an) in
-  let pt = Analyze.pointsto an in
+  let prog = Analyze.prog an in
   let accs = Analyze.accesses an in
   (* First guarded access per stored field, as the lint witness. *)
   let guarded : (string * string, D.acc) Hashtbl.t = Hashtbl.create 16 in
@@ -153,7 +152,7 @@ let discipline_findings ?file (an : Analyze.t) : finding list =
         List.iter
           (fun k ->
             if not (Hashtbl.mem guarded k) then Hashtbl.replace guarded k a)
-          (field_keys prog a pt))
+          (field_keys prog a an))
     accs;
   let unguarded =
     List.concat_map
@@ -178,12 +177,12 @@ let discipline_findings ?file (an : Analyze.t) : finding list =
                         (Diag.span_to_string (Diag.span ?file w.D.sa_pos));
                   }
               | None -> None)
-            (field_keys prog a pt)
+            (field_keys prog a an)
         else [])
       accs
   in
   (* Dead sync: regions under which no access touches shared state. *)
-  let shared = Escape.shared (Analyze.escape an) in
+  let shared = Analyze.shared an in
   let touches_shared (a : D.acc) =
     match a.D.sa_base with
     | D.Bstatic _ -> true
@@ -232,8 +231,85 @@ let race_findings ?file (an : Analyze.t) : finding list =
     (Analyze.candidates an)
 
 let run ?file (an : Analyze.t) (cu : Code.unit_) : finding list =
-  let prog = Pointsto.prog (Analyze.pointsto an) in
+  let prog = Analyze.prog an in
   List.sort_uniq compare_finding
     (race_findings ?file an
     @ discipline_findings ?file an
     @ monitor_findings ?file prog cu)
+
+(* ---- whole-unit lint blocks, with the result-level cache tier ---- *)
+
+(* The rendered per-unit output of [narada lint]: findings then a
+   one-line footer.  Assembled here so the CLI, the serve daemon and
+   the cache all agree on the exact bytes. *)
+type block = { bl_text : string; bl_errors : int; bl_warnings : int }
+
+let render_block ~label (findings : finding list) : block =
+  let errors, warnings =
+    List.fold_left
+      (fun (e, w) f ->
+        match f.f_sev with
+        | Diag.Sev_error -> (e + 1, w)
+        | Diag.Sev_warning -> (e, w + 1))
+      (0, 0) findings
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (to_string f);
+      Buffer.add_char buf '\n')
+    findings;
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d finding%s (%d error%s, %d warning%s)\n" label
+       (errors + warnings)
+       (if errors + warnings = 1 then "" else "s")
+       errors
+       (if errors = 1 then "" else "s")
+       warnings
+       (if warnings = 1 then "" else "s"));
+  { bl_text = Buffer.contents buf; bl_errors = errors; bl_warnings = warnings }
+
+let encode_block b =
+  Printf.sprintf "counts %d %d\n%s" b.bl_errors b.bl_warnings b.bl_text
+
+let decode_block payload =
+  match String.index_opt payload '\n' with
+  | None -> None
+  | Some i -> (
+    let hdr = String.sub payload 0 i in
+    let text = String.sub payload (i + 1) (String.length payload - i - 1) in
+    match String.split_on_char ' ' hdr with
+    | [ "counts"; e; w ] -> (
+      match (int_of_string_opt e, int_of_string_opt w) with
+      | Some e, Some w -> Some { bl_text = text; bl_errors = e; bl_warnings = w }
+      | _ -> None)
+    | _ -> None)
+
+(* Lint one unit, via two cache tiers when a cache is given: the whole
+   rendered block keyed by (label, source bytes) — a warm re-lint of
+   an unchanged unit skips parsing and analysis entirely — and, under
+   it, the per-class summary tier inside {!Analyze.run}, so an edited
+   unit only re-summarizes its changed classes. *)
+let block ?cache ~label ~source ~(compile : unit -> Code.unit_) () : block =
+  let key = label ^ "\x00" ^ source in
+  let cached =
+    match cache with
+    | None -> None
+    | Some cache -> (
+      match Cache.find cache ~kind:"lint" ~key with
+      | None -> None
+      | Some payload -> (
+        match decode_block payload with
+        | Some b -> Some b
+        | None ->
+          Cache.evict cache ~kind:"lint" ~key;
+          None))
+  in
+  match cached with
+  | Some b -> b
+  | None ->
+    let cu = compile () in
+    let an = Analyze.run ~open_world:true ?cache cu.Code.cu_program in
+    let b = render_block ~label (run ~file:label an cu) in
+    Option.iter (fun c -> Cache.store c ~kind:"lint" ~key (encode_block b)) cache;
+    b

@@ -52,9 +52,9 @@ let shares ~shared (a : D.acc) =
   | D.Binst s -> not (D.Sites.is_empty (D.Sites.inter s shared))
   | D.Bstatic _ -> true
 
-let generate ?(drop_sync = false) ?(exclude_init = false) (esc : Escape.t)
+let generate ?(drop_sync = false) ?(exclude_init = false) (esc : D.esc)
     (accs : D.acc list) : D.cand list =
-  let shared = Escape.shared esc in
+  let shared = esc.D.esc_shared in
   let accs =
     if drop_sync then List.filter (fun a -> a.D.sa_regions = []) accs
     else accs
@@ -69,8 +69,7 @@ let generate ?(drop_sync = false) ?(exclude_init = false) (esc : Escape.t)
     else accs
   in
   let mhp (a : D.acc) (b : D.acc) =
-    Escape.is_spawn_reachable esc a.D.sa_qname
-    || Escape.is_spawn_reachable esc b.D.sa_qname
+    D.esc_reaches esc a.D.sa_qname || D.esc_reaches esc b.D.sa_qname
   in
   let arr = Array.of_list accs in
   let seen = Hashtbl.create 64 in

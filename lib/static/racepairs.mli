@@ -6,7 +6,7 @@
 val generate :
   ?drop_sync:bool ->
   ?exclude_init:bool ->
-  Escape.t ->
+  Dom.esc ->
   Dom.acc list ->
   Dom.cand list
 (** Candidates in deterministic discovery order, deduplicated by

@@ -5,7 +5,7 @@ only on the seed, never on the job count or on wall-clock state.
   $ narada fuzz --smoke --seed 42 --jobs 4 > jobs4.out
   $ cmp jobs1.out jobs4.out
   $ cat jobs1.out
-  crucible: 30 programs, seed 42, 8 oracles
+  crucible: 30 programs, seed 42, 9 oracles
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
@@ -15,6 +15,7 @@ only on the seed, never on the job count or on wall-clock state.
     static-superset        30      0
     synthesis-replay       30      0
     backend-diff           30      0
+    static-incremental     30      0
   no oracle violations
 
 Fault injection: hiding join edges from FastTrack's event feed makes it
@@ -25,7 +26,7 @@ campaign is deterministic too, and exits non-zero.
   $ narada fuzz --smoke --seed 42 --jobs 4 --mutate drop-join > mutated4.out
   [1]
   $ narada fuzz --smoke --seed 42 --jobs 1 --mutate drop-join
-  crucible: 30 programs, seed 42, 8 oracles [mutation: drop-join]
+  crucible: 30 programs, seed 42, 9 oracles [mutation: drop-join]
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
@@ -35,6 +36,7 @@ campaign is deterministic too, and exits non-zero.
     static-superset        30      0
     synthesis-replay       30      0
     backend-diff           30      0
+    static-incremental     30      0
   VIOLATION at program #3 (oracle detectors-agree)
     fasttrack={@3.f1} naive-hb={}
     minimal counterexample (size 179 -> 31 in 21 shrink steps):
@@ -70,6 +72,27 @@ Hiding release edges is caught the same way.
   $ narada fuzz --smoke --seed 42 --mutate drop-release > /dev/null
   [1]
 
+Poisoning the static summary cache — keying entries by class name
+instead of content digest, so edited classes silently reuse stale
+summaries — is caught by the incremental-vs-from-scratch oracle.
+
+  $ narada fuzz --smoke --seed 42 --jobs 4 --mutate static-stale-cache > stale.out
+  [1]
+  $ sed -n '1,13p' stale.out
+  crucible: 30 programs, seed 42, 9 oracles [mutation: static-stale-cache]
+    oracle               pass   fail
+    roundtrip              30      0
+    typecheck              30      0
+    vm-determinism         30      0
+    detectors-agree        30      0
+    lockset-superset       30      0
+    static-superset        30      0
+    synthesis-replay       30      0
+    backend-diff           30      0
+    static-incremental      6     24
+  VIOLATION at program #0 (oracle static-incremental)
+    incremental /= from-scratch: open world: 0 warm vs 1 cold candidates
+
 The coverage-guided campaign (no wall budget) is just as deterministic:
 report and corpus snapshot are byte-identical across job counts.
 
@@ -91,6 +114,7 @@ report and corpus snapshot are byte-identical across job counts.
     static-superset         8      0
     synthesis-replay        8      0
     backend-diff            8      0
+    static-incremental      8      0
   no oracle violations
   corpus snapshot: c1.nar (digest f1c2224526d7ee0c)
   $ head -1 c1.nar
@@ -111,5 +135,6 @@ corpus (8 entries carried in, 3 added).
     static-superset         4      0
     synthesis-replay        4      0
     backend-diff            4      0
+    static-incremental      4      0
   no oracle violations
   corpus snapshot: c2.nar (digest 747d072aa16252f1)

@@ -6,14 +6,16 @@ checkpoints its corpus on quit.
   $ printf 'analyze C1\nanalyze C1\ncov C9\nconfirm C9\nstats\n\nfuzz 6 11\ncheckpoint\nstats\nquit\n' \
   >   | narada serve --state srv --jobs 2 --seed 7
   ready state=srv entries=0 features=0
-  analyze C1 ok pairs=105 tests=31
-  analyze C1 ok pairs=105 tests=31
+  analyze C1 ok pairs=105 pruned=0 tests=31
+  analyze C1 ok pairs=105 pruned=0 tests=31
   cov C9 ok racy_pair=10 hb_edge=2 lock_order=0 postponed=7 total=19
   confirm C9 ok candidates=10 confirmed=8 schedules=20
   stats entries=0 features=0 digest=41120543fab6c782
+  static/cache hits=0 misses=6 evictions=0 summarized=6
   fuzz ok checked=6 novelty=128 corpus=6 failures=0
   checkpoint ok srv/corpus.nar entries=6 digest=9af8df947cf31522
   stats entries=6 features=128 digest=9af8df947cf31522
+  static/cache hits=30 misses=60 evictions=0 summarized=123
   bye
 
 The checkpoint is a versioned text file.
@@ -22,11 +24,15 @@ The checkpoint is a versioned text file.
   narada.covcorpus/1
 
 A new session over the same state directory resumes from the
-checkpoint: same entries, same digest.
+checkpoint (same entries, same digest) and from the static summary
+cache: the warm analyze request hits every class summary it stored
+last time and summarizes nothing.
 
-  $ printf 'stats\nquit\n' | narada serve --state srv --jobs 1 --seed 7
+  $ printf 'analyze C1\nstats\nquit\n' | narada serve --state srv --jobs 1 --seed 7
   ready state=srv entries=6 features=128
+  analyze C1 ok pairs=105 pruned=0 tests=31
   stats entries=6 features=128 digest=9af8df947cf31522
+  static/cache hits=6 misses=0 evictions=0 summarized=0
   bye
 
 Unknown requests are reported without killing the session, and EOF

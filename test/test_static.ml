@@ -136,9 +136,13 @@ let entry id =
   | Some e -> e
   | None -> Alcotest.fail ("unknown corpus id " ^ id)
 
-let class_eval ?(static_filter = false) id =
+let class_eval ?(static_filter = false) ?static_cache id =
   let opts =
-    { Eval.Evaluate.default_options with opt_static_filter = static_filter }
+    {
+      Eval.Evaluate.default_options with
+      opt_static_filter = static_filter;
+      opt_static_cache = static_cache;
+    }
   in
   match Eval.Evaluate.evaluate_class ~opts (entry id) with
   | Ok ce -> ce
@@ -173,6 +177,178 @@ let test_filter_sound id () =
   Alcotest.(check int) "same reproduced count" plain.Eval.Evaluate.cl_reproduced
     filtered.Eval.Evaluate.cl_reproduced
 
+(* A summary cache behind the filter must be invisible to detection:
+   cold and warm cached runs both match the unfiltered outcome. *)
+let test_filter_sound_cached id () =
+  let plain = class_eval id in
+  let cache = Static.Cache.in_memory () in
+  let check_run label =
+    let filtered = class_eval ~static_filter:true ~static_cache:cache id in
+    Alcotest.(check (list string))
+      (label ^ ": same detected race keys")
+      (List.map Detect.Race.key_to_string (detected_keys plain))
+      (List.map Detect.Race.key_to_string (detected_keys filtered));
+    Alcotest.(check int)
+      (label ^ ": same reproduced count")
+      plain.Eval.Evaluate.cl_reproduced filtered.Eval.Evaluate.cl_reproduced
+  in
+  check_run "cold cache";
+  check_run "warm cache"
+
+(* ---- per-class summaries: codec and digests ---- *)
+
+let prog_of src = (Jir.Compile.compile_source src).Jir.Code.cu_program
+
+(* The codec must be the identity on every class Crucible can generate:
+   of_string (to_string s) == s, structurally. *)
+let summary_roundtrip_qcheck =
+  QCheck.Test.make ~count:60 ~name:"summary codec round-trip"
+    QCheck.(map Int64.of_int small_int)
+    (fun seed ->
+      let src = Fuzz.Gen.to_source (Fuzz.Gen.generate ~seed) in
+      List.for_all
+        (fun c ->
+          let s = Static.Summary.of_class c in
+          match Static.Summary.of_string (Static.Summary.to_string s) with
+          | Ok s' -> s = s'
+          | Error _ -> false)
+        (Jir.Program.classes (prog_of src)))
+
+(* safe_src differs from racy_src only inside class C (and on the same
+   line layout), so C's digest must change while Main's must not. *)
+let test_digest_stability () =
+  let class_of src name =
+    List.find
+      (fun (c : Jir.Ast.class_decl) -> String.equal c.Jir.Ast.c_name name)
+      (Jir.Program.classes (prog_of src))
+  in
+  Alcotest.(check string)
+    "digest is a pure function of the class"
+    (Static.Summary.digest (class_of racy_src "C"))
+    (Static.Summary.digest (class_of racy_src "C"));
+  Alcotest.(check bool)
+    "editing the class changes its digest" false
+    (String.equal
+       (Static.Summary.digest (class_of racy_src "C"))
+       (Static.Summary.digest (class_of safe_src "C")));
+  Alcotest.(check string)
+    "untouched class keeps its digest"
+    (Static.Summary.digest (class_of racy_src "Main"))
+    (Static.Summary.digest (class_of safe_src "Main"))
+
+(* ---- the on-disk cache: round-trip and recovery ---- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "narada-cache-test" "" in
+  Sys.remove d;
+  d
+
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".entry")
+
+let test_cache_roundtrip () =
+  let dir = tmpdir () in
+  let c = Static.Cache.open_dir dir in
+  Static.Cache.store c ~kind:"sum" ~key:"k1" "payload\nwith lines\n";
+  Alcotest.(check (option string))
+    "find returns the stored payload"
+    (Some "payload\nwith lines\n")
+    (Static.Cache.find c ~kind:"sum" ~key:"k1");
+  Alcotest.(check (option string))
+    "other kind is a separate namespace" None
+    (Static.Cache.find c ~kind:"lint" ~key:"k1");
+  let c2 = Static.Cache.open_dir dir in
+  Alcotest.(check (option string))
+    "a second handle over the directory sees the entry"
+    (Some "payload\nwith lines\n")
+    (Static.Cache.find c2 ~kind:"sum" ~key:"k1")
+
+let corrupt_with dir bytes =
+  match entry_files dir with
+  | [ f ] ->
+    let oc = open_out (Filename.concat dir f) in
+    output_string oc bytes;
+    close_out oc
+  | l -> Alcotest.failf "expected exactly 1 entry file, got %d" (List.length l)
+
+let test_cache_corruption () =
+  let dir = tmpdir () in
+  let c = Static.Cache.open_dir dir in
+  Static.Cache.store c ~kind:"sum" ~key:"k" "payload";
+  corrupt_with dir "garbage that is not a cache entry\n";
+  Alcotest.(check (option string))
+    "corrupt entry reads as a miss" None
+    (Static.Cache.find c ~kind:"sum" ~key:"k");
+  Alcotest.(check (list string)) "corrupt entry is deleted" [] (entry_files dir);
+  Static.Cache.store c ~kind:"sum" ~key:"k" "payload";
+  Alcotest.(check (option string))
+    "storing again recovers" (Some "payload")
+    (Static.Cache.find c ~kind:"sum" ~key:"k")
+
+let test_cache_truncation () =
+  let dir = tmpdir () in
+  let c = Static.Cache.open_dir dir in
+  Static.Cache.store c ~kind:"sum" ~key:"k" "payload";
+  (* a header cut mid-way through (torn write) must not be trusted *)
+  corrupt_with dir (String.sub Static.Cache.schema 0 7);
+  Alcotest.(check (option string))
+    "truncated entry reads as a miss" None
+    (Static.Cache.find c ~kind:"sum" ~key:"k");
+  Alcotest.(check (list string))
+    "truncated entry is deleted" [] (entry_files dir)
+
+let test_cache_version_mismatch () =
+  let dir = tmpdir () in
+  let c = Static.Cache.open_dir dir in
+  Static.Cache.store c ~kind:"sum" ~key:"k" "payload";
+  let oc = open_out (Filename.concat dir "version") in
+  output_string oc "narada.staticcache/0\n";
+  close_out oc;
+  let c2 = Static.Cache.open_dir dir in
+  Alcotest.(check (list string))
+    "reopening over a stale schema wipes the entries" []
+    (entry_files dir);
+  Alcotest.(check (option string))
+    "wiped entry is a miss" None
+    (Static.Cache.find c2 ~kind:"sum" ~key:"k");
+  Static.Cache.store c2 ~kind:"sum" ~key:"k" "fresh";
+  Alcotest.(check (option string))
+    "the store works again after the wipe" (Some "fresh")
+    (Static.Cache.find c2 ~kind:"sum" ~key:"k")
+
+(* ---- incremental == from-scratch, and the planted staleness ---- *)
+
+let render an = List.map D.cand_to_string (Static.Analyze.candidates an)
+
+(* Warm the cache on the safe variant, then analyze the racy one: Main
+   hits, C re-summarizes, and the result must be byte-identical to an
+   uncached run. *)
+let test_incremental_equals_scratch () =
+  let cache = Static.Cache.in_memory () in
+  ignore (Static.Analyze.run ~cache (prog_of safe_src));
+  let warm = Static.Analyze.run ~cache (prog_of racy_src) in
+  let cold = Static.Analyze.run (prog_of racy_src) in
+  Alcotest.(check (list string))
+    "incremental == from-scratch" (render cold) (render warm);
+  Alcotest.(check bool) "candidate found through the warm cache" true
+    (Static.Analyze.covers warm ~field:"v" ~m1:"C.set" ~m2:"C.get")
+
+(* The stale-cache mutation keys by class name, so the racy C silently
+   reuses the safe C's summary and the candidate disappears — the bug
+   the static-incremental oracle exists to catch. *)
+let test_stale_cache_mutation () =
+  let cache = Static.Cache.in_memory () in
+  ignore
+    (Static.Analyze.run ~mutate:Static.Analyze.Stale_cache ~cache
+       (prog_of safe_src));
+  let stale =
+    Static.Analyze.run ~mutate:Static.Analyze.Stale_cache ~cache
+      (prog_of racy_src)
+  in
+  Alcotest.(check bool) "stale summary hides the candidate" false
+    (Static.Analyze.covers stale ~field:"v" ~m1:"C.set" ~m2:"C.get")
+
 let () =
   Alcotest.run "static"
     [
@@ -190,6 +366,26 @@ let () =
             test_open_world_param_alias;
           Alcotest.test_case "deterministic" `Quick test_determinism;
         ] );
+      ( "summaries",
+        [
+          Testlib.Fixtures.qcheck_case summary_roundtrip_qcheck;
+          Alcotest.test_case "digest stability" `Quick test_digest_stability;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "store/find round-trip" `Quick
+            test_cache_roundtrip;
+          Alcotest.test_case "corrupt entry recovery" `Quick
+            test_cache_corruption;
+          Alcotest.test_case "truncated entry recovery" `Quick
+            test_cache_truncation;
+          Alcotest.test_case "version mismatch wipes" `Quick
+            test_cache_version_mismatch;
+          Alcotest.test_case "incremental == from-scratch" `Quick
+            test_incremental_equals_scratch;
+          Alcotest.test_case "stale-cache mutation is unsound" `Quick
+            test_stale_cache_mutation;
+        ] );
       ( "corpus",
         [
           Alcotest.test_case "C9 static superset of dynamic" `Slow
@@ -200,5 +396,7 @@ let () =
             (test_filter_sound "C9");
           Alcotest.test_case "C4 filter soundness" `Slow
             (test_filter_sound "C4");
+          Alcotest.test_case "C9 filter soundness with summary cache" `Slow
+            (test_filter_sound_cached "C9");
         ] );
     ]
