@@ -747,7 +747,8 @@ let fuzz_cmd =
           round-trip, VM determinism, FastTrack vs Djit+ vs a naive \
           happens-before oracle, lockset coverage, static race-analyzer \
           soundness, synthesis replay, interpreter vs compiled backend, \
-          incremental vs from-scratch static analysis).  \
+          incremental vs from-scratch static analysis, minimal repair \
+          closure of every confirmed race).  \
           Deterministic: the report is \
           byte-identical for every --jobs; with $(b,--guided) it is also \
           reproducible from (seed, corpus snapshot).")
@@ -798,7 +799,24 @@ let cov_cmd =
 let serve_cmd =
   let run state jobs seed =
     let jobs = max 1 jobs in
-    if not (Sys.file_exists state) then Sys.mkdir state 0o755;
+    let reg = Obs.Metrics.global () in
+    (* Two daemons may be pointed at the same (not yet existing) state
+       dir: losing the mkdir race, or finding a half-written checkpoint
+       from a concurrently initializing peer, is recoverable — start
+       from the recoverable pieces and count the incident. *)
+    if not (Sys.file_exists state) then (
+      try Sys.mkdir state 0o755 with
+      | Sys_error _ when Sys.file_exists state && Sys.is_directory state ->
+        (* lost the mkdir race to a concurrently starting daemon *)
+        Obs.Metrics.incr reg "serve/recovered"
+      | Sys_error msg ->
+        prerr_endline ("narada: cannot create state dir: " ^ msg);
+        exit 1)
+    else if not (Sys.is_directory state) then begin
+      prerr_endline
+        ("narada: state path exists and is not a directory: " ^ state);
+      exit 1
+    end;
     let ckpt = Filename.concat state "corpus.nar" in
     let corpus =
       if Sys.file_exists ckpt then
@@ -806,6 +824,7 @@ let serve_cmd =
         | Ok c -> c
         | Error msg ->
           Printf.eprintf "narada: ignoring bad checkpoint %s: %s\n%!" ckpt msg;
+          Obs.Metrics.incr reg "serve/recovered";
           Cov.Corpus.create ()
       else Cov.Corpus.create ()
     in
@@ -908,11 +927,12 @@ let serve_cmd =
         let reg = Obs.Metrics.global () in
         let c name = Obs.Metrics.counter_value reg name in
         Printf.sprintf
-          "stats entries=%d features=%d digest=%s\n\
+          "stats entries=%d features=%d digest=%s recovered=%d\n\
            static/cache hits=%d misses=%d evictions=%d summarized=%d"
           (Cov.Corpus.size corpus)
           (Cov.Set.total (Cov.Corpus.coverage corpus))
           (Cov.Corpus.digest corpus)
+          (c "serve/recovered")
           (c "static/cache/hits") (c "static/cache/misses")
           (c "static/cache/evictions")
           (c "static/summarized")
@@ -946,7 +966,13 @@ let serve_cmd =
         List.iter
           (fun line ->
             let resp =
-              if is_pure line then List.assoc line table
+              if is_pure line then
+                match List.assoc_opt line table with
+                | Some r -> r
+                | None ->
+                  (* unreachable: [table] indexes every pure line of the
+                     batch — but a daemon must answer, not die *)
+                  Printf.sprintf "error internal: no answer for %S" line
               else handle_stateful line
             in
             print_endline resp)
@@ -1021,6 +1047,87 @@ let profile_cmd =
           columns are deterministic; timings are wall-clock (monotonic).")
     Term.(const run $ static_filter_arg $ metrics_out_arg)
 
+(* ---- repair ---- *)
+
+let repair_cmd =
+  let run file corpus client entry seed jobs schedules confirm_runs attempts
+      metrics_out =
+    let src, default_client, default_entry, centry =
+      or_die (load_source ~file ~corpus)
+    in
+    let client = if corpus <> None then default_client else client in
+    let entry = if corpus <> None then default_entry else entry in
+    let cu = compile_or_die ?entry:centry src in
+    let sub =
+      Repair.Engine.subject_of_unit cu ~client_classes:[ client ]
+        ~seed_cls:client ~seed_meth:entry
+    in
+    let opts =
+      {
+        Repair.Engine.default_options with
+        eo_seed = seed;
+        eo_jobs = max 1 jobs;
+        eo_schedules = schedules;
+        eo_confirm_runs = confirm_runs;
+      }
+    in
+    match Repair.Engine.repair_all ~opts sub with
+    | Error msg ->
+      prerr_endline ("narada: " ^ msg);
+      exit 1
+    | Ok rp ->
+      print_string (Repair.Engine.report_to_string ~show_attempts:attempts sub rp);
+      write_metrics metrics_out
+        ~meta:
+          [
+            ("cmd", Obs.Export.json_str "repair");
+            ("jobs", string_of_int (max 1 jobs));
+          ];
+      (* A confirmed race the grammar cannot repair is itself a finding,
+         not a tool failure; exit 1 only then, so scripts can tell. *)
+      let unrepaired =
+        List.exists
+          (fun rr -> not (Repair.Engine.constructive rr))
+          rp.Repair.Engine.rp_races
+      in
+      if unrepaired then exit 1
+  in
+  let schedules =
+    Arg.(
+      value
+      & opt int Repair.Engine.default_options.Repair.Engine.eo_schedules
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:"Random schedules per test during (re-)detection.")
+  in
+  let confirm_runs =
+    Arg.(
+      value
+      & opt int Repair.Engine.default_options.Repair.Engine.eo_confirm_runs
+      & info [ "confirm-runs" ] ~docv:"N"
+          ~doc:"Directed confirmation runs per candidate race.")
+  in
+  let attempts =
+    Arg.(
+      value & flag
+      & info [ "attempts" ]
+          ~doc:
+            "Also print every rejected candidate with the validation stage \
+             that killed it (compile / behavior / deadlock / re-detection).")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Synthesize a minimal synchronization fix for every confirmed race: \
+          enumerate patch candidates (synchronize method / wrap statements / \
+          widen an existing mutex) in added-sync cost order and keep the \
+          first one that compiles, preserves the sequential seed behavior, \
+          introduces no lock-order inversion, and eliminates the race under \
+          full re-detection on every backend.  Prints the applied patch as a \
+          unified diff with the race's harmful/benign triage verdict.")
+    Term.(
+      const run $ file_arg $ corpus_arg $ client_arg $ entry_arg $ seed_arg
+      $ jobs_arg $ schedules $ confirm_runs $ attempts $ metrics_out_arg)
+
 (* ---- deadlock ---- *)
 
 let deadlock_cmd =
@@ -1076,8 +1183,36 @@ let main_cmd =
       explore_cmd;
       fuzz_cmd;
       cov_cmd;
+      repair_cmd;
       serve_cmd;
       profile_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Command-line and input errors exit 2 with a single stderr line — no
+   usage dump, no backtrace.  Cmdliner's own parse errors (unknown
+   subcommand / flag, exit code [Cmd.Exit.cli_error]) are captured and
+   reduced to their first line; [Sys_error] (unreadable input file)
+   escapes every command body and is caught here. *)
+let () =
+  let buf = Buffer.create 256 in
+  let err = Format.formatter_of_buffer buf in
+  let code =
+    match Cmd.eval ~catch:false ~err main_cmd with
+    | code -> code
+    | exception Sys_error msg ->
+      prerr_endline ("narada: " ^ msg);
+      2
+  in
+  Format.pp_print_flush err ();
+  let captured = Buffer.contents buf in
+  if code = Cmd.Exit.cli_error then begin
+    (match String.split_on_char '\n' captured with
+    | first :: _ when not (String.equal (String.trim first) "") ->
+      prerr_endline first
+    | _ -> prerr_endline "narada: invalid command line");
+    exit 2
+  end
+  else begin
+    prerr_string captured;
+    exit code
+  end

@@ -150,7 +150,7 @@ let src t (anchor : frame_info) (addr : Runtime.Value.addr) : Sym.t option =
            in
            List.iter
              (fun f ->
-               match Runtime.Value.addr_of (Hashtbl.find tbl f) with
+               match Option.bind (Hashtbl.find_opt tbl f) Runtime.Value.addr_of with
                | Some a' when not (Hashtbl.mem seen a') ->
                  Hashtbl.replace seen a' ();
                  Queue.add (a', Sym.append path f) queue

@@ -83,7 +83,7 @@ let return_setters (h : Absheap.t) (anchor : Absheap.frame_info)
         in
         List.iter
           (fun f ->
-            match Runtime.Value.addr_of (Hashtbl.find tbl f) with
+            match Option.bind (Hashtbl.find_opt tbl f) Runtime.Value.addr_of with
             | Some a when Absheap.controllable h a -> (
               match Absheap.src h anchor a with
               | Some rhs when rhs.Sym.root <> Sym.Recv || rhs.Sym.fields <> []

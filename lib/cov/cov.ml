@@ -297,7 +297,10 @@ module Corpus = struct
     Printf.sprintf "%016Lx" fp
 
   let save c path =
-    let oc = open_out path in
+    (* write-then-rename so a reader (or a crashed writer) never sees a
+       half-written corpus file *)
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
@@ -305,7 +308,8 @@ module Corpus = struct
           (fun l ->
             output_string oc l;
             output_char oc '\n')
-          (to_lines c))
+          (to_lines c));
+    Sys.rename tmp path
 
   let parse_csv s =
     if String.equal s "-" then Ok []

@@ -7,7 +7,14 @@
     Implementation: over identical instantiations, compare the fully
     serialized executions (both orders) with race-forced executions
     (racing accesses back to back, both orders); any difference in the
-    canonical heap snapshot or crash set ⇒ harmful. *)
+    canonical heap snapshot or crash set ⇒ harmful.
+
+    Repairability is the second, constructive oracle on top of this
+    state-divergence verdict: a race whose synthesized lock fix
+    eliminates it under full re-detection is confirmed real by
+    construction ([Repair.Engine.constructive]; [lib/repair] sits above
+    this library, so the wiring lives in the engine's report, which
+    prints both signals per race). *)
 
 type verdict = Harmful | Benign
 

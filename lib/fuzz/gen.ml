@@ -145,7 +145,14 @@ let call_stmts c recv (mi : minfo) =
 
 let rec stmts c depth : stmt list =
   let r = c.bc_rng in
-  let ci = Option.get c.bc_ci in
+  let ci =
+    match c.bc_ci with
+    | Some ci -> ci
+    | None ->
+      (* only the harness context lacks class info, and it never
+         generates library bodies *)
+      invalid_arg "Gen.stmts: no enclosing class info"
+  in
   let assignable = List.filter snd c.bc_locals in
   let choices =
     List.concat
@@ -380,7 +387,11 @@ let gen_main_method r (infos : cls_info list) : method_decl =
     List.concat (List.init (Rng.int r 2) (fun _ -> rand_call r c (Rng.pick r objs)))
   in
   let n_threads = Rng.range r 2 3 in
-  let hot = List.hd objs in
+  let hot =
+    match objs with
+    | o :: _ -> o
+    | [] -> invalid_arg "Gen.gen_main_method: no shared objects constructed"
+  in
   let spawns =
     List.init n_threads (fun i ->
         (* bias threads onto the first object so they contend *)

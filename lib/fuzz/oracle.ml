@@ -11,18 +11,24 @@ open Detect
 
 type verdict = Pass | Fail of string
 
-type mutation = Drop_join | Drop_release | Static_drop_sync | Static_stale_cache
+type mutation =
+  | Drop_join
+  | Drop_release
+  | Static_drop_sync
+  | Static_stale_cache
+  | Repair_overlock
 
 let mutation_of_string = function
   | "drop-join" -> Ok Drop_join
   | "drop-release" -> Ok Drop_release
   | "static-drop-sync" -> Ok Static_drop_sync
   | "static-stale-cache" -> Ok Static_stale_cache
+  | "repair-overlock" -> Ok Repair_overlock
   | s ->
     Error
       (Printf.sprintf
          "unknown mutation %S (have: drop-join, drop-release, \
-          static-drop-sync, static-stale-cache)"
+          static-drop-sync, static-stale-cache, repair-overlock)"
          s)
 
 let mutation_to_string = function
@@ -30,6 +36,7 @@ let mutation_to_string = function
   | Drop_release -> "drop-release"
   | Static_drop_sync -> "static-drop-sync"
   | Static_stale_cache -> "static-stale-cache"
+  | Repair_overlock -> "repair-overlock"
 
 (* Seed roles, derived from the per-program base seed so every oracle is
    a pure function of (program, seed). *)
@@ -276,7 +283,9 @@ let static_superset ?mutate ~seed cu =
   let static_mutate =
     match mutate with
     | Some Static_drop_sync -> Some Static.Analyze.Drop_sync
-    | Some (Drop_join | Drop_release | Static_stale_cache) | None -> None
+    | Some (Drop_join | Drop_release | Static_stale_cache | Repair_overlock)
+    | None ->
+      None
   in
   let an = Static.Analyze.run ?mutate:static_mutate cu.Jir.Code.cu_program in
   let r = run_multithreaded ~seed cu in
@@ -333,7 +342,9 @@ let static_incremental ?mutate (cu : Jir.Code.unit_) =
   let static_mutate =
     match mutate with
     | Some Static_stale_cache -> Some Static.Analyze.Stale_cache
-    | Some (Drop_join | Drop_release | Static_drop_sync) | None -> None
+    | Some (Drop_join | Drop_release | Static_drop_sync | Repair_overlock)
+    | None ->
+      None
   in
   let prog = cu.Jir.Code.cu_program in
   let edited =
@@ -476,6 +487,75 @@ let backend_diff ~seed cu =
       Fail "race keys after mid-run observer attach differ"
     else Fail "mid-run attach runs differ (outcome/steps/output/labels)"
 
+(* ---- the repair oracle ---- *)
+
+(* Every race the detection pipeline confirms on a generated program
+   must be closed by the repair engine: the synthesized patch eliminates
+   the race under re-detection on both backends and introduces no new
+   lock-order pair (all of which [Engine.validate] enforces before a
+   candidate is accepted) — and the accepted patch must be minimal:
+   every grammar candidate cheaper than the chosen one was tried and
+   rejected.  The [repair-overlock] mutation makes the engine try
+   candidates in reverse cost order, so it returns a needlessly coarse
+   repair whose cheaper alternatives were never ruled out — exactly the
+   discipline violation the minimality audit flags. *)
+let repair_closes ?mutate ~seed cu =
+  let sub =
+    Repair.Engine.subject_of_unit cu ~client_classes ~seed_cls:Gen.seed_cls
+      ~seed_meth:Gen.seed_meth
+  in
+  let opts =
+    {
+      Repair.Engine.default_options with
+      Repair.Engine.eo_seed = replay_seed seed;
+      eo_schedules = 1;
+      eo_confirm_runs = 3;
+      eo_overlock = mutate = Some Repair_overlock;
+    }
+  in
+  match Repair.Engine.repair_all ~opts sub with
+  | Error _ ->
+    (* a pipeline failure is the synthesis-replay oracle's finding, not
+       a repair verdict (shrinking can break the seed test) *)
+    Pass
+  | Ok rp ->
+    let audit (rr : Repair.Engine.race_repair) =
+      let id = Repair.Grammar.race_id_to_string rr.Repair.Engine.rr_id in
+      match rr.Repair.Engine.rr_outcome with
+      | Repair.Engine.No_candidates ->
+        Some (Printf.sprintf "%s: no repair candidates" id)
+      | Repair.Engine.Not_repairable ->
+        Some (Printf.sprintf "%s: every repair candidate rejected" id)
+      | Repair.Engine.Repaired { rc_cand; _ } ->
+        let tried =
+          List.map
+            (fun (a : Repair.Engine.attempt) ->
+              Repair.Grammar.candidate_to_string a.Repair.Engine.at_cand)
+            rr.Repair.Engine.rr_attempts
+        in
+        let cheaper_untried =
+          Repair.Grammar.candidates sub.Repair.Engine.sj_prog
+            rr.Repair.Engine.rr_id
+          |> List.filteri (fun i _ ->
+                 i < opts.Repair.Engine.eo_max_candidates)
+          |> List.find_opt (fun (c : Repair.Grammar.candidate) ->
+                 c.Repair.Grammar.ca_cost < rc_cand.Repair.Grammar.ca_cost
+                 && not
+                      (List.mem (Repair.Grammar.candidate_to_string c) tried))
+        in
+        Option.map
+          (fun (c : Repair.Grammar.candidate) ->
+            Printf.sprintf
+              "%s: non-minimal repair [cost %d] — cheaper candidate never \
+               ruled out: %s"
+              id rc_cand.Repair.Grammar.ca_cost
+              (Repair.Grammar.candidate_to_string c))
+          cheaper_untried
+    in
+    (match List.find_map audit rp.Repair.Engine.rp_races with
+    | Some detail -> Fail detail
+    | None -> Pass)
+
 (* ---- the suite ---- *)
 
 (* Oracles run arbitrary (shrunk) programs end-to-end; a candidate with
@@ -498,6 +578,7 @@ let names =
     "synthesis-replay";
     "backend-diff";
     "static-incremental";
+    "repair-closes";
   ]
 
 (* Oracles past the front-end need a compiled unit; if compilation
@@ -536,6 +617,7 @@ let check ?mutate ~seed program =
           "synthesis-replay";
           "backend-diff";
           "static-incremental";
+          "repair-closes";
         ]
   | cu ->
     front
@@ -553,6 +635,8 @@ let check ?mutate ~seed program =
             guarded (fun () -> backend_diff ~seed cu));
         timed "static-incremental" (fun () ->
             guarded (fun () -> static_incremental ?mutate cu));
+        timed "repair-closes" (fun () ->
+            guarded (fun () -> repair_closes ?mutate ~seed cu));
       ]
 
 let first_failure ?mutate ~seed program =
@@ -580,6 +664,7 @@ let fails_oracle ?mutate ~seed ~oracle program =
         | "synthesis-replay" -> synthesis_replay ~strict:false ~seed cu
         | "backend-diff" -> backend_diff ~seed cu
         | "static-incremental" -> static_incremental ?mutate cu
+        | "repair-closes" -> repair_closes ?mutate ~seed cu
         | _ -> Pass))
   in
   match (try run_one () with _ -> Pass) with Pass -> false | Fail _ -> true

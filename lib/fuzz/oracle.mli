@@ -13,9 +13,10 @@ type verdict = Pass | Fail of string
     [Drop_release] corrupt the event stream FastTrack observes (the
     other detectors and the naive oracle see the pristine trace);
     [Static_drop_sync] and [Static_stale_cache] plant an unsoundness
-    inside the static race analyzer itself.  A campaign run with a
-    mutation must report disagreement — proving the differential oracle
-    would catch a real bug of that class. *)
+    inside the static race analyzer itself; [Repair_overlock] breaks
+    the repair engine's cost-order search discipline.  A campaign run
+    with a mutation must report disagreement — proving the differential
+    oracle would catch a real bug of that class. *)
 type mutation =
   | Drop_join  (** hide [Joined] events: lost join happens-before edges *)
   | Drop_release  (** hide [Unlock] events: lost release→acquire edges *)
@@ -24,6 +25,9 @@ type mutation =
   | Static_stale_cache
       (** key summary-cache entries by class name instead of content
           digest, so edited classes reuse stale summaries *)
+  | Repair_overlock
+      (** make the repair engine try candidates in reverse cost order,
+          so it accepts a needlessly coarse (non-minimal) repair *)
 
 val mutation_of_string : string -> (mutation, string) result
 val mutation_to_string : mutation -> string
@@ -65,7 +69,12 @@ val check :
       summary cache warmed on a one-statement-edited variant yields a
       candidate list byte-identical to a from-scratch run, in both the
       closed and the open world — the invalidation soundness bound for
-      the digest-keyed cache. *)
+      the digest-keyed cache;
+    - ["repair-closes"]: every race the detection pipeline confirms is
+      closed by the repair engine — the synthesized patch eliminates
+      the race under re-detection on both backends with no new
+      lock-order pair — and the accepted patch is minimal: every
+      cheaper grammar candidate was tried and rejected. *)
 
 val first_failure :
   ?mutate:mutation -> seed:int64 -> Jir.Ast.program -> (string * string) option

@@ -1,0 +1,9 @@
+(** Minimal line-based unified diff, for printing repair patches.
+    Deterministic, dependency-free; quadratic LCS is fine at Jir program
+    sizes. *)
+
+val unified :
+  ?context:int -> ?from_label:string -> ?to_label:string ->
+  original:string -> patched:string -> unit -> string
+(** Unified diff of the two texts (split on ['\n']).  Returns [""] when
+    the texts are equal.  [context] defaults to 2 lines. *)

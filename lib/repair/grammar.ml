@@ -1,0 +1,400 @@
+(* The repair grammar: candidate lock placements for one confirmed race,
+   enumerated in added-synchronization cost order (the analogue of
+   ferrite's sync-cost minimization).
+
+   Everything here is syntactic and pure; soundness comes from the
+   validation stack in [Engine], which re-runs the full dynamic pipeline
+   on every candidate.  The grammar only has to be (a) generous enough
+   to contain a fix when one exists in the lock-insertion space, and
+   (b) honestly ordered by how much synchronization each candidate
+   adds. *)
+
+module Ast = Jir.Ast
+module Rewrite = Jir.Rewrite
+
+type side = { sd_cls : Ast.id; sd_meth : Ast.id }
+
+let side_qname s = s.sd_cls ^ "." ^ s.sd_meth
+
+let compare_side a b =
+  match String.compare a.sd_cls b.sd_cls with
+  | 0 -> String.compare a.sd_meth b.sd_meth
+  | c -> c
+
+type race_id = { rid_field : Ast.id; rid_a : side; rid_b : side }
+
+let mk_race_id ~field a b =
+  let a, b = if compare_side a b <= 0 then (a, b) else (b, a) in
+  { rid_field = field; rid_a = a; rid_b = b }
+
+let side_of_qname q =
+  match Rewrite.split_qname q with
+  | Some (cls, meth) -> Ok { sd_cls = cls; sd_meth = meth }
+  | None -> Error (Printf.sprintf "unparseable racy site %S" q)
+
+let race_id_of_key (k : Detect.Race.key) =
+  let ( let* ) = Result.bind in
+  let* a = side_of_qname k.Detect.Race.k_site1.Runtime.Event.s_meth in
+  let* b = side_of_qname k.Detect.Race.k_site2.Runtime.Event.s_meth in
+  Ok (mk_race_id ~field:k.Detect.Race.k_field a b)
+
+let race_id_to_string r =
+  Printf.sprintf "race on .%s: %s <-> %s" r.rid_field (side_qname r.rid_a)
+    (side_qname r.rid_b)
+
+let compare_race_id a b =
+  match String.compare a.rid_field b.rid_field with
+  | 0 -> (
+    match compare_side a.rid_a b.rid_a with
+    | 0 -> compare_side a.rid_b b.rid_b
+    | c -> c)
+  | c -> c
+
+let key_matches r (k : Detect.Race.key) =
+  match race_id_of_key k with
+  | Error _ -> false
+  | Ok r' -> compare_race_id r r' = 0
+
+type lockref = { lr_text : string; lr_expr : Ast.expr }
+
+let lockref_of e = { lr_text = Rewrite.lock_text e; lr_expr = e }
+
+type action =
+  | Keep of side
+  | Sync_method of side
+  | Wrap_block of {
+      wb_side : side;
+      wb_from : int;
+      wb_len : int;
+      wb_lock : lockref;
+    }
+  | Replace_mutex of {
+      rm_side : side;
+      rm_occurrence : int;
+      rm_old : string;
+      rm_lock : lockref;
+    }
+
+type candidate = {
+  ca_mode : string;
+  ca_global : Ast.id option;
+  ca_actions : action list;
+  ca_cost : int;
+}
+
+(* Base costs; scope-dependent terms are added per action. *)
+let cost_replace = 2
+let cost_wrap = 3
+let cost_sync_method = 4
+let cost_global = 6
+
+let action_to_string = function
+  | Keep s -> Printf.sprintf "keep %s (already guarded)" (side_qname s)
+  | Sync_method s -> Printf.sprintf "synchronize method %s" (side_qname s)
+  | Wrap_block { wb_side; wb_from; wb_len; wb_lock } ->
+    Printf.sprintf "wrap %d stmt%s of %s (at %d) in synchronized (%s)" wb_len
+      (if wb_len = 1 then "" else "s")
+      (side_qname wb_side) wb_from wb_lock.lr_text
+  | Replace_mutex { rm_side; rm_occurrence; rm_old; rm_lock } ->
+    Printf.sprintf "replace mutex #%d of %s (%s -> %s)" rm_occurrence
+      (side_qname rm_side) rm_old rm_lock.lr_text
+
+let candidate_to_string c =
+  Printf.sprintf "%s: %s [cost %d]" c.ca_mode
+    (String.concat "; " (List.map action_to_string c.ca_actions))
+    c.ca_cost
+
+(* ---- lock vocabulary (common-lock mode) ---- *)
+
+(* Locks usable as the one common lock: [this] (when every racy side is
+   an instance method) plus every portable monitor operand already used
+   by a [synchronized] block in either racy class.  Reusing the
+   program's own vocabulary is what lets the grammar express "the class
+   already has a lock field; take it". *)
+let lock_vocabulary (prog : Ast.program) (r : race_id) ~all_instance =
+  let classes =
+    List.sort_uniq String.compare [ r.rid_a.sd_cls; r.rid_b.sd_cls ]
+  in
+  let from_syncs =
+    List.concat_map
+      (fun cls ->
+        match List.find_opt (fun c -> String.equal c.Ast.c_name cls) prog with
+        | None -> []
+        | Some c ->
+          List.concat_map
+            (fun m -> if m.Ast.m_abstract then [] else Rewrite.sync_locks m)
+            c.Ast.c_methods)
+      classes
+  in
+  let portable = List.filter Rewrite.portable_lock from_syncs in
+  let usable =
+    if all_instance then portable
+    else
+      (* a static side cannot evaluate [this]-rooted paths *)
+      List.filter
+        (fun (e : Ast.expr) ->
+          match e.Ast.desc with Ast.Estatic_field _ -> true | _ -> false)
+        portable
+  in
+  let base = if all_instance then [ Rewrite.this_lock ] else [] in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun e ->
+      let l = lockref_of e in
+      if Hashtbl.mem seen l.lr_text then None
+      else begin
+        Hashtbl.replace seen l.lr_text ();
+        Some l
+      end)
+    (base @ usable)
+
+(* ---- costs and application ---- *)
+
+let action_cost prog = function
+  | Keep _ -> 0
+  | Replace_mutex _ -> cost_replace
+  | Wrap_block { wb_side; wb_from; wb_len; _ } -> (
+    match Rewrite.find_method prog ~cls:wb_side.sd_cls ~meth:wb_side.sd_meth with
+    | None -> max_int
+    | Some m ->
+      let span =
+        List.filteri
+          (fun i _ -> i >= wb_from && i < wb_from + wb_len)
+          m.Ast.m_body
+      in
+      cost_wrap + Ast.block_size span)
+  | Sync_method s -> (
+    match Rewrite.find_method prog ~cls:s.sd_cls ~meth:s.sd_meth with
+    | None -> max_int
+    | Some m -> cost_sync_method + Ast.block_size m.Ast.m_body)
+
+let apply_action prog = function
+  | Keep _ -> Ok prog
+  | Sync_method s ->
+    Ok
+      (Rewrite.map_method prog ~cls:s.sd_cls ~meth:s.sd_meth Rewrite.sync_method)
+  | Wrap_block { wb_side = s; wb_from; wb_len; wb_lock } -> (
+    match
+      Rewrite.map_method prog ~cls:s.sd_cls ~meth:s.sd_meth
+        (Rewrite.wrap_span ~from_:wb_from ~len:wb_len ~lock:wb_lock.lr_expr)
+    with
+    | prog' -> Ok prog'
+    | exception Invalid_argument msg -> Error msg)
+  | Replace_mutex { rm_side = s; rm_occurrence; rm_lock; _ } -> (
+    match
+      Rewrite.map_method prog ~cls:s.sd_cls ~meth:s.sd_meth
+        (Rewrite.replace_sync_lock ~occurrence:rm_occurrence
+           ~lock:rm_lock.lr_expr)
+    with
+    | prog' -> Ok prog'
+    | exception Invalid_argument msg -> Error msg)
+
+let apply prog (c : candidate) =
+  let ( let* ) = Result.bind in
+  let* prog =
+    match c.ca_global with
+    | None -> Ok prog
+    | Some host -> Rewrite.add_global_lock prog ~host
+  in
+  List.fold_left
+    (fun acc action ->
+      let* prog = acc in
+      apply_action prog action)
+    (Ok prog) c.ca_actions
+
+(* ---- per-side actions ---- *)
+
+(* Common-lock discipline: every access to [field] on this side must be
+   under a monitor printing as [lock.lr_text].  Each option is checked
+   post-hoc: applying it must actually leave the method fully guarded
+   (a mutex replacement that leaves a second, unwrapped access naked is
+   discarded here, not at validation time). *)
+let common_side_actions prog ~field ~(lock : lockref) (s : side) : action list =
+  match Rewrite.find_method prog ~cls:s.sd_cls ~meth:s.sd_meth with
+  | None -> []
+  | Some m ->
+    if Rewrite.guarded_everywhere ~field ~lock:lock.lr_text m then [ Keep s ]
+    else begin
+      let achieves action =
+        match apply_action prog action with
+        | Error _ -> false
+        | Ok prog' -> (
+          match Rewrite.find_method prog' ~cls:s.sd_cls ~meth:s.sd_meth with
+          | None -> false
+          | Some m' -> Rewrite.guarded_everywhere ~field ~lock:lock.lr_text m')
+      in
+      let wraps =
+        match Rewrite.unguarded_top_indices ~field ~lock:lock.lr_text m with
+        | [] -> []
+        | idxs ->
+          let lo = List.fold_left min max_int idxs in
+          let hi = List.fold_left max min_int idxs in
+          [
+            Wrap_block
+              { wb_side = s; wb_from = lo; wb_len = hi - lo + 1; wb_lock = lock };
+          ]
+      in
+      let replaces =
+        List.filter_map
+          (fun (occ, old) ->
+            if String.equal old lock.lr_text then None
+            else
+              Some
+                (Replace_mutex
+                   { rm_side = s; rm_occurrence = occ; rm_old = old;
+                     rm_lock = lock }))
+          (Rewrite.sync_wrappers_around ~field m)
+      in
+      let syncs =
+        if
+          String.equal lock.lr_text "this"
+          && (not m.Ast.m_static)
+          && not (Ast.is_ctor m)
+        then [ Sync_method s ]
+        else []
+      in
+      List.filter achieves (replaces @ wraps @ syncs)
+    end
+
+(* Owner discipline: every access holds the monitor of its own base
+   object.  Expressible only when the unguarded accesses of the side go
+   through a single base expression (then one wrapper fixes them all). *)
+let owner_side_actions prog ~field (s : side) : action list =
+  match Rewrite.find_method prog ~cls:s.sd_cls ~meth:s.sd_meth with
+  | None -> []
+  | Some m ->
+    if Rewrite.owner_guarded_everywhere ~field m then [ Keep s ]
+    else begin
+      match Rewrite.owner_unguarded_top ~field m with
+      | None | Some (_, []) | Some ([], _) -> []
+      | Some (idxs, [ base ]) ->
+        let lock = lockref_of base in
+        let lo = List.fold_left min max_int idxs in
+        let hi = List.fold_left max min_int idxs in
+        let achieves action =
+          match apply_action prog action with
+          | Error _ -> false
+          | Ok prog' -> (
+            match Rewrite.find_method prog' ~cls:s.sd_cls ~meth:s.sd_meth with
+            | None -> false
+            | Some m' -> Rewrite.owner_guarded_everywhere ~field m')
+        in
+        let wrap =
+          Wrap_block
+            { wb_side = s; wb_from = lo; wb_len = hi - lo + 1; wb_lock = lock }
+        in
+        let syncs =
+          if
+            String.equal lock.lr_text "this"
+            && (not m.Ast.m_static)
+            && not (Ast.is_ctor m)
+          then [ Sync_method s ]
+          else []
+        in
+        List.filter achieves (wrap :: syncs)
+      | Some (_, _ :: _ :: _) -> []
+    end
+
+(* ---- candidate enumeration ---- *)
+
+let is_static_side prog (s : side) =
+  match Rewrite.find_method prog ~cls:s.sd_cls ~meth:s.sd_meth with
+  | None -> false
+  | Some m -> m.Ast.m_static
+
+(* Combine per-side action lists into whole candidates, dropping the
+   all-[Keep] combos: a no-op patch cannot eliminate a dynamically
+   confirmed race. *)
+let combos ~self_race acts_a acts_b =
+  let raw =
+    if self_race then List.map (fun a -> [ a ]) acts_a
+    else List.concat_map (fun a -> List.map (fun b -> [ a; b ]) acts_b) acts_a
+  in
+  List.filter
+    (fun actions ->
+      not (List.for_all (function Keep _ -> true | _ -> false) actions))
+    raw
+
+let candidates (prog : Ast.program) (r : race_id) : candidate list =
+  let self_race = compare_side r.rid_a r.rid_b = 0 in
+  let all_instance =
+    (not (is_static_side prog r.rid_a)) && not (is_static_side prog r.rid_b)
+  in
+  let field = r.rid_field in
+  let mk ~mode ~global actions =
+    let cost =
+      List.fold_left (fun acc a -> acc + action_cost prog a) 0 actions
+    in
+    let cost = if global = None then cost else cost + cost_global in
+    if cost < 0 || cost >= cost_global + max_int / 2 then None
+    else Some { ca_mode = mode; ca_global = global; ca_actions = actions;
+                ca_cost = cost }
+  in
+  let common =
+    List.concat_map
+      (fun lock ->
+        let acts_a = common_side_actions prog ~field ~lock r.rid_a in
+        let acts_b =
+          if self_race then []
+          else common_side_actions prog ~field ~lock r.rid_b
+        in
+        List.filter_map
+          (mk ~mode:(Printf.sprintf "lock (%s)" lock.lr_text) ~global:None)
+          (combos ~self_race acts_a acts_b))
+      (lock_vocabulary prog r ~all_instance)
+  in
+  let owner =
+    let acts_a = owner_side_actions prog ~field r.rid_a in
+    let acts_b =
+      if self_race then [] else owner_side_actions prog ~field r.rid_b
+    in
+    List.filter_map (mk ~mode:"owner monitors" ~global:None)
+      (combos ~self_race acts_a acts_b)
+  in
+  let global =
+    (* Only expressible when the fresh names are free; host is the
+       canonically-first racy class. *)
+    let host = r.rid_a.sd_cls in
+    match Rewrite.add_global_lock prog ~host with
+    | Error _ -> []
+    | Ok _ ->
+      let lock =
+        lockref_of
+          (Ast.mk_expr (Ast.Estatic_field (host, Rewrite.global_lock_field)))
+      in
+      let acts_a = common_side_actions prog ~field ~lock r.rid_a in
+      let acts_b =
+        if self_race then [] else common_side_actions prog ~field ~lock r.rid_b
+      in
+      List.filter_map
+        (mk
+           ~mode:
+             (Printf.sprintf "global lock (%s.%s)" host
+                Rewrite.global_lock_field)
+           ~global:(Some host))
+        (combos ~self_race acts_a acts_b)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.ca_cost b.ca_cost with
+        | 0 -> String.compare (candidate_to_string a) (candidate_to_string b)
+        | c -> c)
+      (common @ owner @ global)
+  in
+  (* Owner-mode combos can coincide with a common-lock combo (a side
+     whose accesses all go through [this]); keep the first occurrence
+     of each distinct action list. *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun c ->
+      let k =
+        String.concat ";" (List.map action_to_string c.ca_actions)
+        ^ match c.ca_global with None -> "" | Some h -> "+global:" ^ h
+      in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    sorted

@@ -1166,7 +1166,15 @@ module Compiled = struct
     in
     List.iter
       (fun name ->
-        let cc = Hashtbl.find cu.Code.cu_classes name in
+        let cc =
+          match Hashtbl.find_opt cu.Code.cu_classes name with
+          | Some cc -> cc
+          | None ->
+            (* [name] was just folded out of this very table *)
+            invalid_arg
+              (Printf.sprintf
+                 "Machine.Compiled.digest: class %S vanished from unit" name)
+        in
         add "class ";
         add name;
         add " <: ";
@@ -1309,10 +1317,9 @@ let peek m tid = peek_th (thread m tid)
    values without executing it. *)
 let pending_call_th m (th : thread) :
     (Code.meth * Value.t option * Value.t list) option =
-  match peek_th th with
-  | None -> None
-  | Some (_, _, instr) -> (
-    let f = List.hd th.stack in
+  match (peek_th th, th.stack) with
+  | None, _ | _, [] -> None
+  | Some (_, _, instr), f :: _ -> (
     let reg r = f.regs.(r) in
     try
       match instr with
@@ -1444,10 +1451,9 @@ type pending_access = {
 }
 
 let pending_access_th m (th : thread) : pending_access option =
-  match peek_th th with
-  | None -> None
-  | Some (meth, pc, instr) -> (
-    let f = List.hd th.stack in
+  match (peek_th th, th.stack) with
+  | None, _ | _, [] -> None
+  | Some (meth, pc, instr), f :: _ -> (
     let reg r = f.regs.(r) in
     let site = { Event.s_meth = meth.Code.cm_qname; s_pc = pc } in
     let of_obj r k field idx =

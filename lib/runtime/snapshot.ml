@@ -99,7 +99,15 @@ let canonical heap ~(roots : Value.t list) : t =
       id
   in
   List.iter (fun v -> ignore (visit v)) roots;
-  { entries = List.init !next (fun i -> (i, Hashtbl.find table i)) }
+  {
+    entries =
+      List.init !next (fun i ->
+          match Hashtbl.find_opt table i with
+          | Some e -> (i, e)
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Snapshot.canonical: unnumbered entry %d" i));
+  }
 
 let hash heap ~roots = Hashtbl.hash (canonical heap ~roots)
 

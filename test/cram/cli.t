@@ -71,3 +71,19 @@ Bad input surfaces a diagnostic and a nonzero exit:
   $ narada analyze --corpus C42
   narada: unknown corpus id C42 (have: C1, C2, C3, C4, C5, C6, C7, C8, C9)
   [1]
+
+Command-line mistakes are one-line diagnostics with exit 2 — no usage
+dump, no backtrace:
+
+  $ narada frobnicate
+  narada: unknown command 'frobnicate', must be one of 'analyze', 'contege', 'corpus', 'cov', 'deadlock', 'detect', 'eval', 'explore', 'fuzz', 'lint', 'parse', 'profile', 'repair', 'run', 'serve', 'synthesize' or 'trace'.
+  [2]
+  $ narada detect C9 --no-such-flag
+  narada: unknown option '--no-such-flag'.
+  [2]
+
+An unreadable input file is the same class of user error:
+
+  $ narada analyze /no/such/file.jir
+  narada: /no/such/file.jir: No such file or directory
+  [2]

@@ -5,7 +5,7 @@ only on the seed, never on the job count or on wall-clock state.
   $ narada fuzz --smoke --seed 42 --jobs 4 > jobs4.out
   $ cmp jobs1.out jobs4.out
   $ cat jobs1.out
-  crucible: 30 programs, seed 42, 9 oracles
+  crucible: 30 programs, seed 42, 10 oracles
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
@@ -16,6 +16,7 @@ only on the seed, never on the job count or on wall-clock state.
     synthesis-replay       30      0
     backend-diff           30      0
     static-incremental     30      0
+    repair-closes          30      0
   no oracle violations
 
 Fault injection: hiding join edges from FastTrack's event feed makes it
@@ -26,7 +27,7 @@ campaign is deterministic too, and exits non-zero.
   $ narada fuzz --smoke --seed 42 --jobs 4 --mutate drop-join > mutated4.out
   [1]
   $ narada fuzz --smoke --seed 42 --jobs 1 --mutate drop-join
-  crucible: 30 programs, seed 42, 9 oracles [mutation: drop-join]
+  crucible: 30 programs, seed 42, 10 oracles [mutation: drop-join]
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
@@ -37,6 +38,7 @@ campaign is deterministic too, and exits non-zero.
     synthesis-replay       30      0
     backend-diff           30      0
     static-incremental     30      0
+    repair-closes          30      0
   VIOLATION at program #3 (oracle detectors-agree)
     fasttrack={@3.f1} naive-hb={}
     minimal counterexample (size 179 -> 31 in 21 shrink steps):
@@ -78,8 +80,8 @@ summaries — is caught by the incremental-vs-from-scratch oracle.
 
   $ narada fuzz --smoke --seed 42 --jobs 4 --mutate static-stale-cache > stale.out
   [1]
-  $ sed -n '1,13p' stale.out
-  crucible: 30 programs, seed 42, 9 oracles [mutation: static-stale-cache]
+  $ sed -n '1,15p' stale.out
+  crucible: 30 programs, seed 42, 10 oracles [mutation: static-stale-cache]
     oracle               pass   fail
     roundtrip              30      0
     typecheck              30      0
@@ -90,8 +92,34 @@ summaries — is caught by the incremental-vs-from-scratch oracle.
     synthesis-replay       30      0
     backend-diff           30      0
     static-incremental      6     24
+    repair-closes          30      0
   VIOLATION at program #0 (oracle static-incremental)
     incremental /= from-scratch: open world: 0 warm vs 1 cold candidates
+    minimal counterexample (size 316 -> 21 in 25 shrink steps):
+
+The repair oracle requires every confirmed race to be closed by a
+minimal patch; making the engine try candidates in reverse cost order
+— so it accepts a needlessly coarse repair whose cheaper alternatives
+were never ruled out — is caught by the minimality audit.
+
+  $ narada fuzz --smoke --seed 42 --jobs 4 --mutate repair-overlock > overlock.out
+  [1]
+  $ sed -n '1,15p' overlock.out
+  crucible: 30 programs, seed 42, 10 oracles [mutation: repair-overlock]
+    oracle               pass   fail
+    roundtrip              30      0
+    typecheck              30      0
+    vm-determinism         30      0
+    detectors-agree        30      0
+    lockset-superset       30      0
+    static-superset        30      0
+    synthesis-replay       30      0
+    backend-diff           30      0
+    static-incremental     30      0
+    repair-closes          13     17
+  VIOLATION at program #4 (oracle repair-closes)
+    race on .f0: A.m0 <-> A.m0: non-minimal repair [cost 12] — cheaper candidate never ruled out: lock (this): wrap 1 stmt of A.m0 (at 0) in synchronized (this) [cost 6]
+    minimal counterexample (size 510 -> 19 in 29 shrink steps):
 
 The coverage-guided campaign (no wall budget) is just as deterministic:
 report and corpus snapshot are byte-identical across job counts.
@@ -115,6 +143,7 @@ report and corpus snapshot are byte-identical across job counts.
     synthesis-replay        8      0
     backend-diff            8      0
     static-incremental      8      0
+    repair-closes           8      0
   no oracle violations
   corpus snapshot: c1.nar (digest f1c2224526d7ee0c)
   $ head -1 c1.nar
@@ -136,5 +165,6 @@ corpus (8 entries carried in, 3 added).
     synthesis-replay        4      0
     backend-diff            4      0
     static-incremental      4      0
+    repair-closes           4      0
   no oracle violations
   corpus snapshot: c2.nar (digest 747d072aa16252f1)

@@ -1,0 +1,54 @@
+Synthesizing the fix (the constructive follow-up to detection): every
+confirmed race of the classpath CharArrayReader (C9) is closed by a
+minimal-cost patch that passes the deadlock check, and the command
+exits 0 (timings masked).
+
+  $ narada repair --corpus C9 > report.out
+  $ sed -E 's/[0-9]+\.[0-9]+/_/' report.out | sed -n '1,6p'
+  repair: Seed
+    tests driven        10
+    races detected      10
+    races confirmed     8
+    races repaired      8
+    seconds             _
+
+Each confirmed race carries its triage verdict, the applied repair with
+its grammar cost, and a clean deadlock check:
+
+  $ grep -c 'repaired (constructively confirmed real)' report.out
+  8
+  $ grep -c 'deadlock check: clean (no new lock-order pair)' report.out
+  8
+
+The first race block shows the minimal patch as a unified diff — one
+wrapped statement, not a synchronized method:
+
+  $ sed -n '/^race on .buf: CharArrayReader.close <-> CharArrayReader.close/,/^$/p' report.out
+  race on .buf: CharArrayReader.close <-> CharArrayReader.close [benign]
+    repaired (constructively confirmed real): lock (this): wrap 1 stmt of CharArrayReader.close (at 0) in synchronized (this) [cost 6]
+    deadlock check: clean (no new lock-order pair)
+    --- original
+    +++ repaired
+    @@ -57,5 +57,7 @@
+       }
+       void close() {
+    +    synchronized (this) {
+    +      this.buf = null;
+    +    }
+    -    this.buf = null;
+       }
+     }
+  
+
+
+The report is deterministic: a second run is byte-identical after
+masking wall-clock seconds.
+
+  $ narada repair --corpus C9 | sed -E 's/[0-9]+\.[0-9]+/_/' > again.out
+  $ sed -E 's/[0-9]+\.[0-9]+/_/' report.out | diff - again.out
+
+Metrics export records the repair spans and counters:
+
+  $ narada repair --corpus C9 --metrics-out m.json > /dev/null
+  $ grep -o '"cmd": "repair"' m.json
+  "cmd": "repair"

@@ -10,11 +10,11 @@ checkpoints its corpus on quit.
   analyze C1 ok pairs=105 pruned=0 tests=31
   cov C9 ok racy_pair=10 hb_edge=2 lock_order=0 postponed=7 total=19
   confirm C9 ok candidates=10 confirmed=8 schedules=20
-  stats entries=0 features=0 digest=41120543fab6c782
+  stats entries=0 features=0 digest=41120543fab6c782 recovered=0
   static/cache hits=0 misses=6 evictions=0 summarized=6
   fuzz ok checked=6 novelty=128 corpus=6 failures=0
   checkpoint ok srv/corpus.nar entries=6 digest=9af8df947cf31522
-  stats entries=6 features=128 digest=9af8df947cf31522
+  stats entries=6 features=128 digest=9af8df947cf31522 recovered=0
   static/cache hits=30 misses=60 evictions=0 summarized=123
   bye
 
@@ -31,7 +31,7 @@ last time and summarizes nothing.
   $ printf 'analyze C1\nstats\nquit\n' | narada serve --state srv --jobs 1 --seed 7
   ready state=srv entries=6 features=128
   analyze C1 ok pairs=105 pruned=0 tests=31
-  stats entries=6 features=128 digest=9af8df947cf31522
+  stats entries=6 features=128 digest=9af8df947cf31522 recovered=0
   static/cache hits=6 misses=0 evictions=0 summarized=0
   bye
 
@@ -44,3 +44,24 @@ without quit still checkpoints.
   error unknown corpus id C99
   $ head -1 srv2/corpus.nar
   narada.covcorpus/1
+
+A state directory half-written by a concurrently initializing peer — a
+truncated checkpoint — is recoverable: the daemon warns, starts from an
+empty corpus, and counts the incident in the recovered counter.
+
+  $ mkdir srv3 && printf 'narada.covcorpus/1\ngarbage' > srv3/corpus.nar
+  $ printf 'stats\nquit\n' | narada serve --state srv3 --seed 7 2>warn.err
+  ready state=srv3 entries=0 features=0
+  stats entries=0 features=0 digest=41120543fab6c782 recovered=1
+  static/cache hits=0 misses=0 evictions=0 summarized=0
+  bye
+  $ cat warn.err
+  narada: ignoring bad checkpoint srv3/corpus.nar: unparseable line "garbage"
+
+A state path that exists but is not a directory is not recoverable:
+one-line diagnostic, exit 1.
+
+  $ touch notadir
+  $ narada serve --state notadir --seed 7
+  narada: state path exists and is not a directory: notadir
+  [1]

@@ -221,6 +221,27 @@ let test_corpus_roundtrip () =
             Alcotest.(check string) "checkpoint stable" (read path)
               (read path2)))
 
+let test_corpus_save_atomic () =
+  (* save goes through a tmp file + rename: after a save the tmp file
+     is gone, and overwriting an existing checkpoint never leaves a
+     torn file behind (a concurrent reader sees old or new, not half) *)
+  let c = build_corpus () in
+  let path = Filename.temp_file "narada_corpus" ".nar" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Cov.Corpus.save c path;
+      Alcotest.(check bool) "no tmp residue" false
+        (Sys.file_exists (path ^ ".tmp"));
+      Cov.Corpus.save c path;
+      Alcotest.(check bool) "no tmp residue after overwrite" false
+        (Sys.file_exists (path ^ ".tmp"));
+      match Cov.Corpus.load path with
+      | Error e -> Alcotest.failf "reload failed: %s" e
+      | Ok c' ->
+        Alcotest.(check string) "digest intact" (Cov.Corpus.digest c)
+          (Cov.Corpus.digest c'))
+
 let test_corpus_load_rejects_garbage () =
   let path = Filename.temp_file "narada_corpus" ".nar" in
   Fun.protect
@@ -277,6 +298,7 @@ let () =
           Alcotest.test_case "note and rank" `Quick test_corpus_note_and_rank;
           Alcotest.test_case "checkpoint roundtrip" `Quick
             test_corpus_roundtrip;
+          Alcotest.test_case "atomic save" `Quick test_corpus_save_atomic;
           Alcotest.test_case "garbage rejected" `Quick
             test_corpus_load_rejects_garbage;
           Alcotest.test_case "merge" `Quick test_corpus_merge;

@@ -274,6 +274,27 @@ let test_construct_api () =
       | Ok (Some (Value.Vint 7)) -> ()
       | Ok _ | Error _ -> Alcotest.fail "construct+call broken"))
 
+let test_pending_on_finished_thread () =
+  (* A finished thread has an empty frame stack; probing it for a
+     pending call/access must answer None, not raise. *)
+  let cu =
+    Jir.Compile.compile_source
+      "class P { int v; void poke() { this.v = this.v + 1; } }"
+  in
+  let m = Machine.create cu in
+  match Machine.construct m ~cls:"P" ~args:[] () with
+  | Error e -> Alcotest.fail e
+  | Ok recv -> (
+    match Jir.Code.find_virtual cu "P" "poke" with
+    | None -> Alcotest.fail "no poke"
+    | Some cm -> (
+      let tid = Machine.new_thread m ~cm ~recv:(Some recv) ~args:[] () in
+      match Machine.run_thread_to_completion m tid ~fuel:1000 with
+      | Error e -> Alcotest.fail e
+      | Ok _ ->
+        Alcotest.(check bool) "no pending call" true
+          (Machine.pending_call m tid = None)))
+
 let test_deref_path () =
   let cu = Jir.Compile.compile_source Testlib.Fixtures.fig1 in
   let m = Machine.create ~client_classes:[ "Seed" ] cu in
@@ -392,6 +413,8 @@ let () =
           Alcotest.test_case "rand deterministic" `Quick test_rand_deterministic;
           Alcotest.test_case "print capture" `Quick test_print_output;
           Alcotest.test_case "construct" `Quick test_construct_api;
+          Alcotest.test_case "pending on finished thread" `Quick
+            test_pending_on_finished_thread;
           Alcotest.test_case "deref_path" `Quick test_deref_path;
         ] );
     ]

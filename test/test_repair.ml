@@ -1,0 +1,288 @@
+(* Repair-grammar and CEGIS-engine tests: cost ordering of the
+   candidate enumeration, and the deadlock gate on repair-shaped
+   programs (a nested synchronized insertion that inverts a lock order
+   must be rejected, with the global-lock fallback passing instead). *)
+
+module Grammar = Repair.Grammar
+module Engine = Repair.Engine
+
+let compile src = Jir.Compile.compile_source src
+
+let subject_of src ~client ~entry =
+  Engine.subject_of_unit (compile src) ~client_classes:[ client ]
+    ~seed_cls:client ~seed_meth:entry
+
+(* One unguarded writer against a reader guarded by [this]: the minimal
+   repair is a single wrap of the writer's one racy statement. *)
+let counter_src =
+  {|
+class Counter {
+  int count;
+
+  void bump() {
+    this.count = this.count + 1;
+  }
+
+  synchronized int get() {
+    return this.count;
+  }
+}
+
+class Seed {
+  static void main() {
+    Counter c = new Counter();
+    c.bump();
+    int x = c.get();
+    Sys.print(x);
+  }
+}
+|}
+
+let counter_race () =
+  let side cls meth = { Grammar.sd_cls = cls; sd_meth = meth } in
+  {
+    Grammar.rid_field = "count";
+    rid_a = side "Counter" "bump";
+    rid_b = side "Counter" "get";
+  }
+
+(* Symmetric cross-object copy: each instance reads its peer's field
+   under only its own monitor.  The owner-lock wrap (synchronized on
+   [this.other] around the body) creates a fresh Node->Node nesting the
+   sequential seed never showed — a self-pairing ABBA — so the deadlock
+   gate must reject it and the engine must fall through to the global
+   lock. *)
+let symmetric_src =
+  {|
+class Node {
+  int x;
+  Node other;
+
+  void init(Node o) {
+    this.other = o;
+  }
+
+  void copyFrom() {
+    synchronized (this) {
+      this.x = this.other.x + 1;
+    }
+  }
+
+  int get() {
+    synchronized (this) {
+      return this.x;
+    }
+  }
+}
+
+class Seed {
+  static void main() {
+    Node a = new Node();
+    Node b = new Node();
+    a.init(b);
+    b.init(a);
+    a.copyFrom();
+    b.copyFrom();
+    int x = a.get();
+    Sys.print(x);
+  }
+}
+|}
+
+(* ---- grammar cost model ---- *)
+
+let test_base_cost_order () =
+  Alcotest.(check bool)
+    "replace < wrap < sync-method < global surcharge" true
+    (Grammar.cost_replace < Grammar.cost_wrap
+    && Grammar.cost_wrap < Grammar.cost_sync_method
+    && Grammar.cost_sync_method < Grammar.cost_global)
+
+let test_candidates_sorted_by_cost () =
+  let sub = subject_of counter_src ~client:"Seed" ~entry:"main" in
+  let cands = Grammar.candidates sub.Engine.sj_prog (counter_race ()) in
+  Alcotest.(check bool) "non-empty grammar" true (cands <> []);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Grammar.ca_cost <= b.Grammar.ca_cost && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-decreasing cost" true (sorted cands)
+
+let test_minimal_candidate_is_single_wrap () =
+  (* The cheapest candidate touches only the unguarded side: one wrap
+     of bump's single statement under [this], keeping get as-is.  The
+     whole-method [synchronized] rewrite must cost strictly more. *)
+  let sub = subject_of counter_src ~client:"Seed" ~entry:"main" in
+  match Grammar.candidates sub.Engine.sj_prog (counter_race ()) with
+  | [] -> Alcotest.fail "no candidates"
+  | first :: rest ->
+    let is_wrap_of_bump = function
+      | Grammar.Wrap_block { wb_side; wb_len; wb_lock; _ } ->
+        String.equal wb_side.Grammar.sd_meth "bump"
+        && wb_len = 1
+        && String.equal wb_lock.Grammar.lr_text "this"
+      | _ -> false
+    in
+    let is_keep_get = function
+      | Grammar.Keep s -> String.equal s.Grammar.sd_meth "get"
+      | _ -> false
+    in
+    Alcotest.(check bool) "first = wrap bump stmt + keep get" true
+      (List.exists is_wrap_of_bump first.Grammar.ca_actions
+      && List.exists is_keep_get first.Grammar.ca_actions);
+    let sync_method_cost =
+      List.filter_map
+        (fun c ->
+          if
+            List.exists
+              (function
+                | Grammar.Sync_method s ->
+                  String.equal s.Grammar.sd_meth "bump"
+                | _ -> false)
+              c.Grammar.ca_actions
+          then Some c.Grammar.ca_cost
+          else None)
+        (first :: rest)
+    in
+    List.iter
+      (fun c ->
+        Alcotest.(check bool) "method-sync costs more than the wrap" true
+          (first.Grammar.ca_cost < c))
+      sync_method_cost
+
+let test_keep_costs_nothing () =
+  let sub = subject_of counter_src ~client:"Seed" ~entry:"main" in
+  List.iter
+    (fun c ->
+      let keeps, others =
+        List.partition
+          (function Grammar.Keep _ -> true | _ -> false)
+          c.Grammar.ca_actions
+      in
+      ignore keeps;
+      Alcotest.(check bool) "no all-keep candidate" true (others <> []))
+    (Grammar.candidates sub.Engine.sj_prog (counter_race ()))
+
+(* ---- the deadlock gate on repair-shaped programs ---- *)
+
+let quick_opts =
+  { Engine.default_options with Engine.eo_schedules = 1; eo_confirm_runs = 3 }
+
+let test_inverting_wrap_rejected () =
+  (* Hand-build the owner-lock wrap for copyFrom (nest the peer's
+     monitor outside [synchronized (this)]) and validate it: the
+     deadlock gate must kill it with the self-pairing Node<->Node
+     ABBA. *)
+  let sub = subject_of symmetric_src ~client:"Seed" ~entry:"main" in
+  let side = { Grammar.sd_cls = "Node"; sd_meth = "copyFrom" } in
+  let rid = { Grammar.rid_field = "x"; rid_a = side; rid_b = side } in
+  let lock =
+    List.find_opt
+      (fun (c : Grammar.candidate) ->
+        c.Grammar.ca_global = None
+        && List.exists
+             (function
+               | Grammar.Wrap_block { wb_lock; _ } ->
+                 String.equal wb_lock.Grammar.lr_text "this.other"
+               | _ -> false)
+             c.Grammar.ca_actions)
+      (Grammar.candidates sub.Engine.sj_prog rid)
+  in
+  match lock with
+  | None -> Alcotest.fail "owner-lock wrap candidate not enumerated"
+  | Some cand -> (
+    match Engine.baseline_of quick_opts sub with
+    | Error e -> Alcotest.fail e
+    | Ok baseline -> (
+      match Engine.validate quick_opts sub baseline rid cand with
+      | Ok _ -> Alcotest.fail "lock-order-inverting wrap was accepted"
+      | Error (Engine.R_deadlock _) -> ()
+      | Error r ->
+        Alcotest.fail
+          ("rejected, but not by the deadlock gate: "
+          ^ Engine.reject_to_string r)))
+
+let test_symmetric_race_repaired_globally () =
+  (* The full loop on the same program: every confirmed race must still
+     be repaired — via the global-lock fallback — with the rejected
+     owner-lock attempt visible in the audit trail. *)
+  let sub = subject_of symmetric_src ~client:"Seed" ~entry:"main" in
+  match Engine.repair_all ~opts:quick_opts sub with
+  | Error e -> Alcotest.fail e
+  | Ok rp ->
+    Alcotest.(check bool) "at least one race confirmed" true
+      (rp.Engine.rp_confirmed > 0);
+    let symmetric = ref false in
+    List.iter
+      (fun (rr : Engine.race_repair) ->
+        match rr.Engine.rr_outcome with
+        | Engine.Repaired { rc_cand; _ } ->
+          (* only the symmetric x-race needs the coarse fallback; other
+             confirmed races (e.g. on .other) repair locally *)
+          if
+            String.equal rr.Engine.rr_id.Grammar.rid_field "x"
+            && String.equal rr.Engine.rr_id.Grammar.rid_a.Grammar.sd_meth
+                 "copyFrom"
+            && String.equal rr.Engine.rr_id.Grammar.rid_b.Grammar.sd_meth
+                 "copyFrom"
+          then begin
+            symmetric := true;
+            Alcotest.(check bool)
+              ("global lock used for "
+              ^ Grammar.race_id_to_string rr.Engine.rr_id)
+              true
+              (rc_cand.Grammar.ca_global <> None);
+            Alcotest.(check bool) "a deadlock rejection precedes it" true
+              (List.exists
+                 (fun (a : Engine.attempt) ->
+                   match a.Engine.at_result with
+                   | Error (Engine.R_deadlock _) -> true
+                   | _ -> false)
+                 rr.Engine.rr_attempts)
+          end
+        | Engine.No_candidates | Engine.Not_repairable ->
+          Alcotest.fail
+            ("unrepaired: " ^ Grammar.race_id_to_string rr.Engine.rr_id))
+      rp.Engine.rp_races;
+    Alcotest.(check bool) "the symmetric copyFrom race was confirmed" true
+      !symmetric
+
+let test_counter_race_repaired_minimally () =
+  let sub = subject_of counter_src ~client:"Seed" ~entry:"main" in
+  match Engine.repair_all ~opts:quick_opts sub with
+  | Error e -> Alcotest.fail e
+  | Ok rp ->
+    Alcotest.(check bool) "race confirmed" true (rp.Engine.rp_confirmed > 0);
+    List.iter
+      (fun (rr : Engine.race_repair) ->
+        match rr.Engine.rr_outcome with
+        | Engine.Repaired { rc_cand; _ } ->
+          Alcotest.(check bool) "no global lock needed" true
+            (rc_cand.Grammar.ca_global = None)
+        | _ -> Alcotest.fail "counter race not repaired")
+      rp.Engine.rp_races
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "base cost order" `Quick test_base_cost_order;
+          Alcotest.test_case "candidates sorted" `Quick
+            test_candidates_sorted_by_cost;
+          Alcotest.test_case "minimal is single wrap" `Quick
+            test_minimal_candidate_is_single_wrap;
+          Alcotest.test_case "no all-keep candidates" `Quick
+            test_keep_costs_nothing;
+        ] );
+      ( "deadlock gate",
+        [
+          Alcotest.test_case "inverting wrap rejected" `Quick
+            test_inverting_wrap_rejected;
+          Alcotest.test_case "symmetric race repaired globally" `Quick
+            test_symmetric_race_repaired_globally;
+          Alcotest.test_case "counter race repaired locally" `Quick
+            test_counter_race_repaired_minimally;
+        ] );
+    ]
